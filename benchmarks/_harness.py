@@ -1,0 +1,28 @@
+"""Shared reporting helpers for the benchmark suite."""
+
+from __future__ import annotations
+
+import os
+
+_OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def report(experiment: str, text: str) -> str:
+    """Print a result block and persist it under benchmarks/output/."""
+    banner = f"\n===== {experiment} =====\n{text}\n"
+    print(banner)
+    os.makedirs(_OUTPUT_DIR, exist_ok=True)
+    path = os.path.join(_OUTPUT_DIR, f"{experiment}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return path
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The experiments are whole-simulation runs (seconds each), so the
+    usual multi-round calibration is disabled.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1,
+                              warmup_rounds=0)

@@ -1,0 +1,88 @@
+"""Figure 10 — channel capacity and BER vs raw transmission rate.
+
+Sweeps the transmission interval for the cross-core and the
+cross-processor deployments.  The paper's headline numbers: the
+cross-core capacity peaks around 46 bit/s near a 47.6 bit/s raw rate
+(21 ms interval); cross-processor peaks around 31 bit/s; at low rates
+the error rate is near zero and capacity tracks the raw rate.
+"""
+
+from repro.analysis import format_table
+from repro.core.evaluation import capacity_sweep, peak_capacity
+
+from _harness import report, run_once
+
+INTERVALS_MS = (60.0, 45.0, 38.0, 33.0, 28.0, 24.0, 21.0, 18.0,
+                15.0, 12.0)
+
+
+def _sweep(cross_processor: bool, bits: int):
+    return capacity_sweep(
+        intervals_ms=INTERVALS_MS,
+        bits=bits,
+        cross_processor=cross_processor,
+        seed=3,
+    )
+
+
+def _render(points, label, paper_peak):
+    rows = [
+        [
+            f"{p.interval_ms:.0f}",
+            f"{p.raw_rate_bps:.1f}",
+            f"{100 * p.error_rate:.1f}",
+            f"{p.capacity_bps:.1f}",
+        ]
+        for p in points
+    ]
+    best = peak_capacity(points)
+    return format_table(
+        ["interval (ms)", "raw rate (bps)", "BER (%)",
+         "capacity (bit/s)"],
+        rows,
+        title=(
+            f"Figure 10 ({label}): peak capacity "
+            f"{best.capacity_bps:.1f} bit/s at "
+            f"{best.raw_rate_bps:.1f} bps raw "
+            f"(paper: ~{paper_peak} bit/s)"
+        ),
+    )
+
+
+def test_fig10_cross_core(benchmark):
+    points = run_once(benchmark, lambda: _sweep(False, bits=200))
+    report("fig10_cross_core", _render(points, "cross-core", 46))
+    best = peak_capacity(points)
+    # Shape requirements: substantial peak in the paper's band, low
+    # error at low rates, degradation at high rates.
+    assert 30.0 <= best.capacity_bps <= 55.0
+    assert 15.0 <= best.interval_ms <= 30.0
+    low_rate = points[0]
+    assert low_rate.error_rate <= 0.02
+    fastest = points[-1]
+    assert fastest.error_rate > 0.08
+
+
+def test_fig10_cross_processor(benchmark):
+    points = run_once(benchmark, lambda: _sweep(True, bits=200))
+    report("fig10_cross_processor",
+           _render(points, "cross-processor", 31))
+    best = peak_capacity(points)
+    assert 20.0 <= best.capacity_bps <= 40.0
+    assert points[0].error_rate <= 0.03
+
+
+def test_fig10_cross_core_beats_cross_processor(benchmark):
+    def experiment():
+        local = peak_capacity(_sweep(False, bits=120))
+        remote = peak_capacity(_sweep(True, bits=120))
+        return local, remote
+
+    local, remote = run_once(benchmark, experiment)
+    report(
+        "fig10_deployment_comparison",
+        f"peak cross-core {local.capacity_bps:.1f} bit/s vs "
+        f"cross-processor {remote.capacity_bps:.1f} bit/s "
+        "(paper: 46 vs 31)",
+    )
+    assert local.capacity_bps > remote.capacity_bps

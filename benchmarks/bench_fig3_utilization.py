@@ -1,0 +1,73 @@
+"""Figure 3 — median uncore frequency vs thread count x traffic type.
+
+Regenerates the full 5x10 matrix (None / 0-3 hop traffic, 1-16
+threads) and diffs it cell by cell against the paper's figure.
+"""
+
+from repro.analysis import format_table, median_mhz
+from repro.platform import System
+from repro.platform.tracing import frequency_trace
+from repro.units import ms
+from repro.workloads import L2PointerChaseLoop, TrafficLoop
+
+from _harness import report, run_once
+
+THREAD_COUNTS = (1, 2, 3, 4, 5, 6, 7, 8, 15, 16)
+
+PAPER_MATRIX = {
+    "None": (1.5,) * 10,
+    "0-hop": (2.1, 2.2, 2.3, 2.3, 2.3, 2.3, 2.3, 2.3, 2.3, 2.3),
+    "1-hop": (2.2, 2.2, 2.3, 2.3, 2.3, 2.3, 2.4, 2.4, 2.4, 2.4),
+    "2-hop": (2.3, 2.4, 2.4, 2.4, 2.4, 2.4, 2.4, 2.4, 2.4, 2.4),
+    "3-hop": (2.4,) * 10,
+}
+
+
+def measure_cell(kind: str, threads: int) -> float:
+    system = System(seed=0)
+    for index in range(threads):
+        if kind == "None":
+            workload = L2PointerChaseLoop(f"l2-{index}")
+        else:
+            workload = TrafficLoop(f"traffic-{index}",
+                                   hops=int(kind[0]))
+        system.launch(workload, 0, index)
+    system.run_ms(900)
+    _, freqs = frequency_trace(
+        system.socket(0).pmu.timeline,
+        system.now - ms(300), system.now, ms(1),
+    )
+    system.stop()
+    return median_mhz(freqs) / 1000.0
+
+
+def test_fig3_utilization_matrix(benchmark):
+    def experiment():
+        return {
+            kind: [measure_cell(kind, n) for n in THREAD_COUNTS]
+            for kind in PAPER_MATRIX
+        }
+
+    matrix = run_once(benchmark, experiment)
+    rows = []
+    mismatches = 0
+    for kind, values in matrix.items():
+        rows.append([kind] + [f"{v:.1f}" for v in values])
+        expected = PAPER_MATRIX[kind]
+        mismatches += sum(
+            1 for v, e in zip(values, expected)
+            if abs(v - e) > 0.051
+        )
+    rows.append(["(paper)"] + [""] * len(THREAD_COUNTS))
+    for kind, expected in PAPER_MATRIX.items():
+        rows.append([f"  {kind}"] + [f"{e:.1f}" for e in expected])
+    text = format_table(
+        ["traffic"] + [str(n) for n in THREAD_COUNTS],
+        rows,
+        title=(
+            "Figure 3: median uncore frequency (GHz) vs thread count; "
+            f"cells differing from the paper: {mismatches}/50"
+        ),
+    )
+    report("fig3_utilization", text)
+    assert mismatches == 0, f"{mismatches} cells differ from Figure 3"

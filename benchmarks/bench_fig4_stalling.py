@@ -1,0 +1,76 @@
+"""Figure 4 — uncore frequency vs stalled / unstalled active cores.
+
+Regenerates the stalled-fraction sweep: the frequency pins at the
+maximum exactly when strictly more than 1/3 of active cores are
+stalled, and rests at 1.8/1.5 GHz otherwise.
+"""
+
+from repro.analysis import format_table, median_mhz
+from repro.platform import System
+from repro.platform.tracing import frequency_trace
+from repro.units import ms
+from repro.workloads import NopLoop, StallingLoop
+
+from _harness import report, run_once
+
+STALLED_COUNTS = (1, 2, 3, 4, 5)
+UNSTALLED_COUNTS = (0, 1, 2, 3, 4, 6, 9, 11)
+
+
+def measure_cell(stalled: int, unstalled: int) -> float | None:
+    if stalled + unstalled > 16:
+        return None
+    system = System(seed=0)
+    core = 0
+    for index in range(stalled):
+        system.launch(StallingLoop(f"stall-{index}"), 0, core)
+        core += 1
+    for index in range(unstalled):
+        system.launch(NopLoop(f"nop-{index}"), 0, core)
+        core += 1
+    system.run_ms(400)
+    _, freqs = frequency_trace(
+        system.socket(0).pmu.timeline, system.now - ms(200),
+        system.now, ms(1),
+    )
+    system.stop()
+    return median_mhz(freqs) / 1000.0
+
+
+def test_fig4_stalled_cores(benchmark):
+    def experiment():
+        return {
+            stalled: [
+                measure_cell(stalled, unstalled)
+                for unstalled in UNSTALLED_COUNTS
+            ]
+            for stalled in STALLED_COUNTS
+        }
+
+    matrix = run_once(benchmark, experiment)
+    rows = []
+    violations = 0
+    for stalled, values in matrix.items():
+        row = [f"{stalled} stalled"]
+        for unstalled, value in zip(UNSTALLED_COUNTS, values):
+            if value is None:
+                row.append("-")
+                continue
+            row.append(f"{value:.1f}")
+            active = stalled + unstalled
+            should_pin = stalled > active / 3.0
+            pinned = value >= 2.35
+            if should_pin != pinned:
+                violations += 1
+        rows.append(row)
+    text = format_table(
+        ["stalled \\ unstalled"] + [str(u) for u in UNSTALLED_COUNTS],
+        rows,
+        title=(
+            "Figure 4: uncore frequency (GHz) by stalled/unstalled "
+            "active cores; 2.4 iff stalled > active/3 "
+            f"(rule violations: {violations})"
+        ),
+    )
+    report("fig4_stalling", text)
+    assert violations == 0

@@ -1,0 +1,84 @@
+"""Figure 5 — frequency trace upon starting the stalling loop.
+
+The uncore climbs 100 MHz roughly every 10 ms from the idle dither up
+to the 2.4 GHz maximum; the per-step gaps are printed like the
+figure's annotations (the paper reports 9.7-10.4 ms).
+"""
+
+from repro.analysis import format_table
+from repro.platform import System
+from repro.platform.tracing import frequency_trace, step_times_ms
+from repro.units import ms
+from repro.workloads import StallingLoop
+
+from _harness import report, run_once
+
+
+def test_fig5_frequency_increase(benchmark):
+    def experiment():
+        system = System(seed=0)
+        system.run_ms(53)  # settle; misalign the loop start
+        loop = StallingLoop("stall")
+        system.launch(loop, 0, 0)
+        start = system.now
+        system.run_ms(170)
+        times, freqs = frequency_trace(
+            system.socket(0).pmu.timeline, start, system.now,
+            200_000,  # the paper samples every 200 us
+        )
+        system.stop()
+        return times, freqs
+
+    times, freqs = run_once(benchmark, experiment)
+    changes = step_times_ms(times, freqs)
+    ups = [c for c in changes if c[2] > c[1]]
+    gaps = [f"{b[0] - a[0]:.1f}" for a, b in zip(ups, ups[1:])]
+    rows = [
+        [f"{t:.1f}", f"{frm / 1000:.1f}", f"{to / 1000:.1f}"]
+        for t, frm, to in ups
+    ]
+    text = format_table(
+        ["time (ms)", "from (GHz)", "to (GHz)"],
+        rows,
+        title=(
+            "Figure 5: frequency steps after the stalling loop starts\n"
+            f"step gaps (ms): {' '.join(gaps)}   "
+            "(paper: 9.7-10.4 ms per step)"
+        ),
+    )
+    report("fig5_freq_increase", text)
+    assert freqs[-1] == 2400
+    assert all(9.0 <= b[0] - a[0] <= 11.5 for a, b in zip(ups, ups[1:]))
+
+
+def test_fig5_no_faster_with_more_threads(benchmark):
+    """Launching several stalling threads does not accelerate the ramp
+    (Section 3.3: "neither of these options can make the uncore
+    frequency increase faster")."""
+
+    def ramp_duration(threads: int) -> float:
+        system = System(seed=0)
+        system.run_ms(53)
+        for index in range(threads):
+            system.launch(StallingLoop(f"stall-{index}"), 0, index)
+        start = system.now
+        system.run_ms(170)
+        times, freqs = frequency_trace(
+            system.socket(0).pmu.timeline, start, system.now, 200_000
+        )
+        system.stop()
+        first_at_max = next(
+            t for t, f in zip(times, freqs) if f == 2400
+        )
+        return float(first_at_max)
+
+    def experiment():
+        return ramp_duration(1), ramp_duration(8)
+
+    single, many = run_once(benchmark, experiment)
+    report(
+        "fig5_thread_count_ablation",
+        f"time to reach 2.4 GHz: 1 thread = {single:.1f} ms, "
+        f"8 threads = {many:.1f} ms (paper: identical cadence)",
+    )
+    assert abs(single - many) <= 11.0

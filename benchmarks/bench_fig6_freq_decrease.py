@@ -1,0 +1,53 @@
+"""Figure 6 — frequency trace upon stopping the stalling loop.
+
+The uncore descends 100 MHz roughly every 10 ms until it reaches the
+1.5 GHz active-idle level and starts dithering.
+"""
+
+from repro.analysis import format_table
+from repro.platform import System
+from repro.platform.tracing import frequency_trace, step_times_ms
+from repro.units import ms
+from repro.workloads import StallingLoop
+
+from _harness import report, run_once
+
+
+def test_fig6_frequency_decrease(benchmark):
+    def experiment():
+        system = System(seed=0)
+        loop = StallingLoop("stall")
+        system.launch(loop, 0, 0)
+        system.run_ms(153)  # reach and hold 2.4 GHz
+        system.terminate(loop)
+        start = system.now
+        system.run_ms(170)
+        times, freqs = frequency_trace(
+            system.socket(0).pmu.timeline, start, system.now, 200_000
+        )
+        system.stop()
+        return times, freqs
+
+    times, freqs = run_once(benchmark, experiment)
+    changes = step_times_ms(times, freqs)
+    downs = [c for c in changes if c[2] < c[1]]
+    gaps = [f"{b[0] - a[0]:.1f}" for a, b in zip(downs, downs[1:])]
+    rows = [
+        [f"{t:.1f}", f"{frm / 1000:.1f}", f"{to / 1000:.1f}"]
+        for t, frm, to in downs
+    ]
+    text = format_table(
+        ["time (ms)", "from (GHz)", "to (GHz)"],
+        rows,
+        title=(
+            "Figure 6: frequency steps after the stalling loop stops\n"
+            f"step gaps (ms): {' '.join(gaps)}   "
+            "(paper: 9.3-10.4 ms per step)"
+        ),
+    )
+    report("fig6_freq_decrease", text)
+    assert freqs[0] == 2400
+    assert freqs[-1] in (1400, 1500)
+    ramp = downs[:8]
+    assert all(9.0 <= b[0] - a[0] <= 11.5 for a, b in zip(ramp,
+                                                          ramp[1:]))

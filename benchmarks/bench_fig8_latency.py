@@ -1,0 +1,85 @@
+"""Figure 8 — LLC access latency vs fixed uncore frequency, per hop.
+
+For each hop distance (0-3) and each fixed frequency (1.5-2.4 GHz),
+the receiver core times a 10 ms window of eviction-list accesses; the
+quantile summary mirrors the figure's box plots.  The 1-hop column's
+means are checked against the Figure 9 anchor values.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, quantile_summary
+from repro.cache.hierarchy import Level
+from repro.defenses import apply_fixed_frequency
+from repro.platform import System
+from repro.units import ms
+
+from _harness import report, run_once
+
+FREQUENCIES = tuple(range(1500, 2401, 100))
+
+#: Figure 9's 1-hop anchor points (GHz -> cycles).
+PAPER_1HOP = {1500: 79.0, 1800: 71.0, 2200: 63.0}
+
+
+def sample_window(system: System, actor, ev_set,
+                  samples: int = 2000) -> np.ndarray:
+    """A batch of timed loads at the current (fixed) frequency."""
+    model = system.latency_model
+    hops = actor.socket.hops(actor.core_id, ev_set.slice_id)
+    return model.sample_many(
+        samples, Level.LLC, hops, actor.socket.uncore_freq_mhz
+    )
+
+
+def test_fig8_latency_vs_frequency(benchmark):
+    def experiment():
+        results: dict[int, dict[int, object]] = {}
+        for freq in FREQUENCIES:
+            system = System(seed=5)
+            apply_fixed_frequency(system, freq)
+            # Measure from the core at tile (3,3), as in the figure.
+            core_33 = next(
+                i for i in range(16)
+                if system.socket(0).mesh.core_coord(i) == (3, 3)
+            )
+            actor = system.create_actor("probe", 0, core_33)
+            for hops in range(4):
+                ev = actor.build_measurement_list(hops=hops)
+                actor.warm_list(ev)
+                summary = quantile_summary(
+                    sample_window(system, actor, ev)
+                )
+                results.setdefault(hops, {})[freq] = summary
+            system.stop()
+        return results
+
+    results = run_once(benchmark, experiment)
+    for hops in range(4):
+        rows = []
+        for freq in FREQUENCIES:
+            s = results[hops][freq]
+            rows.append([
+                f"{freq / 1000:.1f}",
+                f"{s.mean:.1f}", f"{s.median:.1f}",
+                f"{s.q25:.1f}", f"{s.q75:.1f}",
+                f"{s.p1:.1f}", f"{s.p99:.1f}",
+            ])
+        text = format_table(
+            ["freq (GHz)", "mean", "median", "q25", "q75", "p1",
+             "p99"],
+            rows,
+            title=(
+                f"Figure 8({chr(ord('a') + hops)}): {hops}-hop LLC "
+                "latency (cycles) vs fixed uncore frequency"
+            ),
+        )
+        report(f"fig8_latency_{hops}hop", text)
+
+    # Monotonicity for every hop count.
+    for hops in range(4):
+        means = [results[hops][f].mean for f in FREQUENCIES]
+        assert means == sorted(means, reverse=True)
+    # Figure 9 anchors on the 1-hop curve.
+    for freq, expected in PAPER_1HOP.items():
+        assert abs(results[1][freq].mean - expected) < 1.5

@@ -1,0 +1,81 @@
+"""Simulator performance micro-benchmarks.
+
+Not a paper artefact: these track the cost of the substrate itself
+(event throughput, cache-model loads, PMU evaluation, probe windows) so
+regressions in simulation speed are caught the same way result
+regressions are.  Unlike the experiment benches these use real
+multi-round timing.
+"""
+
+from repro.engine import Engine
+from repro.platform import System
+from repro.units import ms, us
+
+
+def test_perf_engine_event_throughput(benchmark):
+    def spin():
+        engine = Engine()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 10_000:
+                engine.schedule(10, tick)
+
+        engine.schedule(10, tick)
+        engine.run()
+        return count
+
+    assert benchmark(spin) == 10_000
+
+
+def test_perf_simulated_second_idle(benchmark):
+    """Wall cost of one simulated second of an idle dual-socket box."""
+
+    def run():
+        system = System(seed=0)
+        system.run_ms(1_000)
+        system.stop()
+        return system.engine.events_fired
+
+    events = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert events > 100  # PMU ticks on both sockets
+
+
+def test_perf_cache_load_path(benchmark):
+    system = System(seed=0)
+    actor = system.create_actor("perf", 0, 4)
+    ev = actor.build_measurement_list(hops=1)
+    actor.warm_list(ev)
+    addresses = list(ev.virtual_addresses)
+
+    def walk():
+        for virtual in addresses:
+            actor.timed_load(virtual, advance_time=False)
+        return len(addresses)
+
+    assert benchmark(walk) == 20
+
+
+def test_perf_measure_window(benchmark):
+    system = System(seed=0)
+    actor = system.create_actor("perf", 0, 4)
+    ev = actor.build_measurement_list(hops=1)
+    actor.warm_list(ev)
+
+    def window():
+        return actor.measure_window(ev, us(500))
+
+    latency = benchmark(window)
+    assert 50.0 < latency < 100.0
+
+
+def test_perf_eviction_list_search(benchmark):
+    def build():
+        system = System(seed=0)
+        actor = system.create_actor("perf", 0, 4)
+        ev = actor.build_measurement_list(hops=1)
+        return len(ev)
+
+    assert benchmark.pedantic(build, rounds=3, iterations=1) == 20

@@ -1,0 +1,40 @@
+"""Table 1 — platform details.
+
+Prints the configured simulated platform next to the paper's hardware
+rows; a fidelity check that the substrate matches the Table 1 machine.
+"""
+
+from repro.analysis import format_table
+from repro.config import default_platform_config, platform_summary
+
+from _harness import report, run_once
+
+PAPER_ROWS = {
+    "Processor": "2x Intel Xeon Gold 6142",
+    "Microarchitecture": "Skylake-SP",
+    "Num of cores": "2x16",
+    "Core base frequency": "2.6 GHz",
+    "UFS": "1.2-2.4 GHz",
+    "L1 cache": "8-way associative, private, 32KB+32KB",
+    "L2 cache": "16-way associative, private, inclusive, 1024KB",
+    "LLC": "11-way associative, shared, non-inclusive, 22528KB",
+    "Frequency governor": "Powersave",
+}
+
+
+def test_table1_platform(benchmark):
+    def experiment():
+        return platform_summary(default_platform_config())
+
+    summary = run_once(benchmark, experiment)
+    rows = [
+        [key, PAPER_ROWS.get(key, "-"), value]
+        for key, value in summary.items()
+    ]
+    report(
+        "table1_platform",
+        format_table(["Item", "Paper", "Simulated"], rows,
+                     title="Table 1: platform details"),
+    )
+    assert summary["Num of cores"] == "2x16"
+    assert summary["UFS"] == "1.2-2.4 GHz"

@@ -1,0 +1,31 @@
+"""Benchmark-harness configuration.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper
+(see DESIGN.md's experiment index).  Results are printed and also
+written to ``benchmarks/output/<experiment>.txt`` so they survive
+pytest's output capture; EXPERIMENTS.md summarises them against the
+paper's numbers.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_FULL=1`` — paper-scale fingerprinting (100 sites) and
+  longer payloads everywhere.  Hours, not minutes.
+"""
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    """Whether paper-scale parameters were requested."""
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+@pytest.fixture
+def scale():
+    return "full" if full_scale() else "standard"

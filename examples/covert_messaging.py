@@ -1,0 +1,53 @@
+"""Reliable covert messaging: framing + FEC + ARQ over UF-variation.
+
+The raw channel delivers bits with a rate-dependent error rate; a real
+exfiltration deployment wraps it in the protocol stack from
+``repro.core.framing``: Hamming(7,4) forward error correction, a block
+interleaver against the channel's bursty errors, a self-synchronising
+preamble and a stop-and-wait ARQ loop.  This example pushes a small
+secret across the uncore at the aggressive 21 ms operating point and
+reports the protocol-level statistics.
+
+Run:  python examples/covert_messaging.py
+"""
+
+from repro import ChannelConfig, System, UFVariationChannel
+from repro.core.framing import (
+    encode_frame,
+    frame_overhead_ratio,
+    send_message_reliable,
+)
+from repro.units import ms
+
+SECRET = b"key=0xDEADBEEF"
+
+
+def main() -> None:
+    system = System(seed=23)
+    channel = UFVariationChannel(
+        system, config=ChannelConfig(interval_ns=ms(21))
+    )
+    coded_bits = len(encode_frame(SECRET))
+    print(f"payload: {SECRET!r} ({8 * len(SECRET)} bits)")
+    print(f"frame:   {coded_bits} bits after FEC + interleaving "
+          f"(overhead x{frame_overhead_ratio(len(SECRET)):.2f})")
+    print(f"link:    {channel.config.raw_rate_bps:.1f} bit/s raw, "
+          "cross-core")
+
+    transfer = send_message_reliable(channel, SECRET, max_attempts=4)
+    frame = transfer.frame
+    print(f"\nattempts: {transfer.attempts}")
+    print(f"FEC-corrected bits (final attempt): "
+          f"{frame.corrected_bits}")
+    print(f"received: {frame.payload!r} "
+          f"(checksum {'ok' if frame.checksum_ok else 'BAD'})")
+    seconds = system.now / 1e9
+    print(f"total simulated time: {seconds:.2f} s -> net goodput "
+          f"{8 * len(SECRET) / seconds:.1f} bit/s")
+
+    channel.shutdown()
+    system.stop()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Evaluate the Section 6.1 countermeasures against UF-variation.
+
+Runs the channel against every defense, reports which ones stop it,
+and measures the energy cost of the fixed-at-maximum policy on a
+bulk-synchronous analytics workload.
+
+Run:  python examples/defense_evaluation.py
+"""
+
+from repro.analysis import format_table
+from repro.defenses import analytics_energy_overhead, evaluate_defenses
+
+
+def main() -> None:
+    print("running UF-variation against each countermeasure ...")
+    reports = evaluate_defenses(bits=60, seed=21)
+    rows = [
+        [
+            r.defense,
+            f"{100 * r.error_rate:.1f}",
+            f"{r.capacity_bps:.1f}",
+            "stopped" if r.channel_stopped else "STILL FUNCTIONAL",
+        ]
+        for r in reports
+    ]
+    print(format_table(
+        ["defense", "BER (%)", "capacity (bit/s)", "verdict"], rows
+    ))
+    print(
+        "\nnote the paper's key finding: restricting the UFS range "
+        "does NOT stop the covert channel\n(the 10 ms / 100 MHz "
+        "dynamics survive inside any non-degenerate window)."
+    )
+
+    print("\nmeasuring the fixed-at-max energy cost on analytics ...")
+    energy = analytics_energy_overhead(duration_s=10.0, seed=4)
+    print(
+        f"  UFS: {energy.ufs_joules:.1f} J, fixed at 2.4 GHz: "
+        f"{energy.fixed_max_joules:.1f} J -> overhead "
+        f"{energy.overhead_percent:.1f} % (paper: ~7 %)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: send a covert message through UF-variation.
+
+Builds the simulated dual-socket Skylake-SP platform, deploys the
+UF-variation covert channel between two unprivileged processes on
+different cores (Section 4 of the paper), and transmits an ASCII
+message encoded bit by bit into the direction of the uncore-frequency
+change.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ChannelConfig, System, UFVariationChannel
+from repro.units import ms
+
+
+def text_to_bits(text: str) -> list[int]:
+    return [
+        (byte >> shift) & 1
+        for byte in text.encode()
+        for shift in range(7, -1, -1)
+    ]
+
+
+def bits_to_text(bits: list[int]) -> str:
+    data = bytearray()
+    for offset in range(0, len(bits) - 7, 8):
+        value = 0
+        for bit in bits[offset:offset + 8]:
+            value = (value << 1) | bit
+        data.append(value)
+    return data.decode(errors="replace")
+
+
+def main() -> None:
+    message = "UFS!"
+    print(f"platform: simulated 2x Xeon Gold 6142, UFS 1.2-2.4 GHz")
+    system = System(seed=7)
+
+    # Sender on core 0, receiver on core 8 of socket 0.  A 28 ms
+    # interval trades a little capacity for per-bit reliability; the
+    # capacity-optimal 21 ms point (the paper's 46 bit/s) is noisier.
+    channel = UFVariationChannel(
+        system, config=ChannelConfig(interval_ns=ms(28))
+    )
+
+    bits = text_to_bits(message)
+    print(f"sending {message!r} = {len(bits)} bits "
+          f"at {channel.config.raw_rate_bps:.1f} bit/s raw ...")
+    result = channel.transmit(bits)
+
+    print(f"received: {bits_to_text(list(result.received))!r}")
+    print(f"bit errors: {result.bit_errors}/{len(bits)} "
+          f"(BER {100 * result.error_rate:.1f} %)")
+    print(f"channel capacity: {result.capacity_bps:.1f} bit/s "
+          "(paper: 46 bit/s cross-core)")
+    print(f"simulated transmission time: "
+          f"{result.duration_ns / 1e9:.2f} s")
+
+    channel.shutdown()
+    system.stop()
+
+
+if __name__ == "__main__":
+    main()

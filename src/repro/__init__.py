@@ -1,0 +1,86 @@
+"""repro — a full reproduction of *Uncore Encore: Covert Channels
+Exploiting Uncore Frequency Scaling* (Guo, Cao, Xin, Zhang, Yang;
+MICRO 2023) on a simulated dual-socket Skylake-SP platform.
+
+Quick start::
+
+    from repro import System, UFVariationChannel, ChannelConfig
+    from repro.units import ms
+
+    system = System(seed=7)
+    channel = UFVariationChannel(
+        system, config=ChannelConfig(interval_ns=ms(38))
+    )
+    result = channel.transmit([1, 1, 0, 1, 0, 0, 1, 0, 1, 1])
+    print(result.received, result.error_rate, result.capacity_bps)
+
+Layer map (bottom up):
+
+* :mod:`repro.engine` — deterministic discrete-event simulation;
+* :mod:`repro.mem`, :mod:`repro.cache`, :mod:`repro.noc`,
+  :mod:`repro.cpu`, :mod:`repro.power` — the hardware substrates
+  (memory, caches+directory, mesh/ring, cores/MSRs, UFS/PC-states);
+* :mod:`repro.platform` — the assembled system and the unprivileged
+  actor facade;
+* :mod:`repro.workloads` — the paper's loops, stressors and victims;
+* :mod:`repro.core` — **UF-variation**, the paper's contribution;
+* :mod:`repro.channels` — ten prior covert channels and the Table 3
+  comparison harness;
+* :mod:`repro.sidechannel` — file-size profiling and website
+  fingerprinting (Section 5);
+* :mod:`repro.defenses` — the Section 6.1 countermeasures;
+* :mod:`repro.analysis` — capacity math, statistics, table rendering.
+"""
+
+from .config import (
+    PlatformConfig,
+    default_platform_config,
+    platform_summary,
+    single_socket_config,
+)
+from .platform import Actor, SecurityConfig, System
+from .core import (
+    ChannelConfig,
+    SenderMode,
+    TransmissionResult,
+    UFReceiver,
+    UFSender,
+    UFVariationChannel,
+    UncoreFrequencyProbe,
+    capacity_sweep,
+    capacity_under_stress,
+)
+from .errors import (
+    ChannelError,
+    ConfigError,
+    PrerequisiteError,
+    PrivilegeError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Actor",
+    "ChannelConfig",
+    "ChannelError",
+    "ConfigError",
+    "PlatformConfig",
+    "PrerequisiteError",
+    "PrivilegeError",
+    "ReproError",
+    "SecurityConfig",
+    "SenderMode",
+    "System",
+    "TransmissionResult",
+    "UFReceiver",
+    "UFSender",
+    "UFVariationChannel",
+    "UncoreFrequencyProbe",
+    "__version__",
+    "capacity_sweep",
+    "capacity_under_stress",
+    "default_platform_config",
+    "platform_summary",
+    "single_socket_config",
+]

@@ -1,0 +1,39 @@
+"""Analysis utilities: information theory, trace stats, table rendering,
+machine-readable export."""
+
+from .entropy import binary_entropy, channel_capacity_bps
+from .export import (
+    capacity_sweep_to_csv,
+    comparison_to_csv,
+    results_to_json,
+    rows_to_csv,
+    trace_to_csv,
+)
+from .stats import (
+    bit_error_rate,
+    confusion_matrix,
+    median_mhz,
+    quantile_summary,
+    top_k_accuracy,
+)
+from .sparkline import frequency_sparkline, labelled_trace, sparkline
+from .tables import format_table
+
+__all__ = [
+    "binary_entropy",
+    "bit_error_rate",
+    "capacity_sweep_to_csv",
+    "channel_capacity_bps",
+    "comparison_to_csv",
+    "confusion_matrix",
+    "format_table",
+    "frequency_sparkline",
+    "labelled_trace",
+    "median_mhz",
+    "quantile_summary",
+    "results_to_json",
+    "rows_to_csv",
+    "sparkline",
+    "top_k_accuracy",
+    "trace_to_csv",
+]

@@ -1,0 +1,32 @@
+"""Information-theoretic channel metrics (Section 4.3.2).
+
+The paper quantifies throughput as *channel capacity*: the raw
+transmission rate multiplied by ``1 - H(e)`` where ``e`` is the bit
+error rate and ``H`` the binary entropy function — the Shannon capacity
+of a binary symmetric channel at that error rate.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def binary_entropy(p: float) -> float:
+    """``H(p)`` in bits; defined as 0 at the endpoints."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"probability {p} outside [0, 1]")
+    if p in (0.0, 1.0):
+        return 0.0
+    return -p * math.log2(p) - (1.0 - p) * math.log2(1.0 - p)
+
+
+def channel_capacity_bps(raw_rate_bps: float, error_rate: float) -> float:
+    """Capacity of a binary symmetric channel at a given raw rate.
+
+    Errors beyond 0.5 are folded back (an adversary would invert the
+    decoding), matching the standard BSC treatment.
+    """
+    if raw_rate_bps < 0:
+        raise ValueError("raw rate must be non-negative")
+    folded = min(error_rate, 1.0 - error_rate)
+    return raw_rate_bps * (1.0 - binary_entropy(folded))

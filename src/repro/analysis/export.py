@@ -1,0 +1,78 @@
+"""Result export: CSV and JSON serialisation of experiment artefacts.
+
+The benchmark harness prints tables; downstream consumers (plotting
+scripts, regression dashboards) want machine-readable forms.  This
+module serialises the common artefacts — frequency traces, capacity
+sweeps, comparison matrices — without pulling in any dependency beyond
+the standard library.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import asdict, is_dataclass
+from typing import Iterable
+
+
+def trace_to_csv(times_ms, freqs_mhz) -> str:
+    """A two-column frequency trace (the figures' raw series)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["time_ms", "freq_mhz"])
+    for time, freq in zip(times_ms, freqs_mhz):
+        writer.writerow([f"{float(time):.3f}", int(freq)])
+    return buffer.getvalue()
+
+
+def rows_to_csv(headers: list[str], rows: Iterable[Iterable]) -> str:
+    """Generic tabular export matching the printed benchmark tables."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow(list(row))
+    return buffer.getvalue()
+
+
+def _jsonable(value):
+    if is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "ndim"):  # numpy arrays and scalars
+        return value.tolist() if value.ndim else value.item()
+    return value
+
+
+def results_to_json(results, *, indent: int = 2) -> str:
+    """Serialise dataclass results (CapacityPoint lists, Table 3 cells,
+    fingerprint results, ...) to JSON."""
+    return json.dumps(_jsonable(results), indent=indent)
+
+
+def capacity_sweep_to_csv(points) -> str:
+    """The Figure 10 series in CSV form."""
+    return rows_to_csv(
+        ["interval_ms", "raw_rate_bps", "error_rate", "capacity_bps"],
+        (
+            [p.interval_ms, p.raw_rate_bps, p.error_rate,
+             p.capacity_bps]
+            for p in points
+        ),
+    )
+
+
+def comparison_to_csv(cells) -> str:
+    """The Table 3 cells in CSV form."""
+    return rows_to_csv(
+        ["channel", "scenario", "functional", "error_rate", "note"],
+        (
+            [c.channel, c.scenario, c.functional,
+             "" if c.error_rate is None else c.error_rate, c.note]
+            for c in cells
+        ),
+    )

@@ -1,0 +1,68 @@
+"""Terminal sparklines for frequency traces.
+
+The paper's figures are frequency-versus-time plots; in a terminal the
+closest faithful rendering is a block-character sparkline.  Used by the
+examples and available for quick interactive inspection::
+
+    >>> from repro.analysis.sparkline import sparkline
+    >>> sparkline([1500, 1600, 1700, 2400, 2400, 1500])
+    '▁▂▃█▇▁'
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, *, lo: float | None = None,
+              hi: float | None = None) -> str:
+    """Render a numeric series as one line of block characters.
+
+    ``lo``/``hi`` pin the scale (pass the platform's frequency window
+    to make several traces comparable); they default to the series'
+    own extent.
+    """
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        return ""
+    low = float(data.min()) if lo is None else float(lo)
+    high = float(data.max()) if hi is None else float(hi)
+    if high <= low:
+        return _BLOCKS[0] * data.size
+    scaled = (data - low) / (high - low)
+    indices = np.clip(
+        (scaled * (len(_BLOCKS) - 1)).round().astype(int),
+        0,
+        len(_BLOCKS) - 1,
+    )
+    return "".join(_BLOCKS[i] for i in indices)
+
+
+def frequency_sparkline(freqs_mhz, *, min_mhz: int = 1200,
+                        max_mhz: int = 2400,
+                        max_width: int = 100) -> str:
+    """A sparkline of a frequency trace on the platform's UFS scale.
+
+    Long traces are average-pooled down to ``max_width`` columns.
+    """
+    data = np.asarray(list(freqs_mhz), dtype=np.float64)
+    if data.size > max_width:
+        edges = np.linspace(0, data.size, max_width + 1).astype(int)
+        data = np.array([
+            data[edges[i]:max(edges[i + 1], edges[i] + 1)].mean()
+            for i in range(max_width)
+        ])
+    return sparkline(data, lo=min_mhz, hi=max_mhz)
+
+
+def labelled_trace(label: str, freqs_mhz, **kwargs) -> str:
+    """``label  <sparkline>  [min-max GHz]`` for example output."""
+    data = np.asarray(list(freqs_mhz), dtype=np.float64)
+    if data.size == 0:
+        return f"{label}  (empty trace)"
+    return (
+        f"{label}  {frequency_sparkline(data, **kwargs)}  "
+        f"[{data.min() / 1000:.1f}-{data.max() / 1000:.1f} GHz]"
+    )

@@ -1,0 +1,140 @@
+"""Shared scaffolding for the baseline covert channels.
+
+Every baseline is a :class:`BaselineChannel`: two unprivileged actors
+(sender on one core, receiver on another), a per-bit encode/decode pair
+and a common transmit loop.  Construction raises
+:class:`~repro.errors.PrerequisiteError` when the platform lacks a
+required feature — that is how the prerequisite columns of Table 3 are
+evaluated — and defenses break channels mechanically, surfacing as a
+~50 % bit error rate.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..analysis.entropy import channel_capacity_bps
+from ..analysis.stats import bit_error_rate
+from ..errors import ChannelError
+from ..platform.actor import Actor
+from ..platform.system import System
+
+#: BER below which a channel counts as functional in the Table 3 matrix
+#: (a broken channel decodes at chance, i.e. ~50 %).
+FUNCTIONAL_BER_THRESHOLD = 0.25
+
+
+@dataclass(frozen=True)
+class Prerequisites:
+    """Platform features a channel needs beyond co-location."""
+
+    shared_memory: bool = False
+    clflush: bool = False
+    tsx: bool = False
+
+
+@dataclass(frozen=True)
+class ChannelOutcome:
+    """Result of one baseline transmission."""
+
+    sent: tuple[int, ...]
+    received: tuple[int, ...]
+    bit_time_ns: int
+
+    @property
+    def error_rate(self) -> float:
+        return bit_error_rate(list(self.sent), list(self.received))
+
+    @property
+    def functional(self) -> bool:
+        return self.error_rate < FUNCTIONAL_BER_THRESHOLD
+
+    @property
+    def raw_rate_bps(self) -> float:
+        return 1e9 / self.bit_time_ns if self.bit_time_ns else 0.0
+
+    @property
+    def capacity_bps(self) -> float:
+        return channel_capacity_bps(self.raw_rate_bps, self.error_rate)
+
+
+class BaselineChannel(ABC):
+    """A sender/receiver pair implementing one prior covert channel."""
+
+    #: Human-readable name, matching the Table 3 row label.
+    name: str = "baseline"
+    #: The Table 3 "leakage source" column.
+    leakage_source: str = ""
+
+    def __init__(
+        self,
+        system: System,
+        *,
+        sender_socket: int = 0,
+        sender_core: int = 0,
+        receiver_socket: int = 0,
+        receiver_core: int = 8,
+        sender_domain: int = 0,
+        receiver_domain: int = 0,
+    ) -> None:
+        self.system = system
+        self.sender: Actor = system.create_actor(
+            f"{self.name}-sender", sender_socket, sender_core,
+            domain=sender_domain,
+        )
+        self.receiver: Actor = system.create_actor(
+            f"{self.name}-receiver", receiver_socket, receiver_core,
+            domain=receiver_domain,
+        )
+        self.cross_socket = sender_socket != receiver_socket
+        self.setup()
+
+    # -- channel-specific hooks ----------------------------------------------
+
+    @classmethod
+    def prerequisites(cls) -> Prerequisites:
+        """Features this channel requires (Table 3 prerequisite columns)."""
+        return Prerequisites()
+
+    @classmethod
+    def platform_transform(cls, config):
+        """Adjust the platform this channel is evaluated on.
+
+        Most channels run on the stock Table 1 platform.  Occupancy
+        channels override this to scale the LLC geometry down so that
+        cache-filling working sets stay tractable to simulate — the
+        mechanics (associativity, indexing, victim flow) are unchanged.
+        """
+        return config
+
+    @abstractmethod
+    def setup(self) -> None:
+        """Build eviction sets / shared segments / calibration."""
+
+    @abstractmethod
+    def send_and_receive(self, bit: int) -> int:
+        """Transmit one bit and return the receiver's decode."""
+
+    @property
+    @abstractmethod
+    def bit_time_ns(self) -> int:
+        """Nominal duration of one bit slot."""
+
+    # -- the common transmit loop ------------------------------------------------
+
+    def transmit(self, bits: list[int]) -> ChannelOutcome:
+        """Run the per-bit protocol over a bit string."""
+        if any(bit not in (0, 1) for bit in bits):
+            raise ChannelError("message must be a list of 0/1 bits")
+        received = [self.send_and_receive(bit) for bit in bits]
+        return ChannelOutcome(
+            sent=tuple(bits),
+            received=tuple(received),
+            bit_time_ns=self.bit_time_ns,
+        )
+
+    def shutdown(self) -> None:
+        """Release both actors' cores."""
+        self.sender.retire()
+        self.receiver.retire()

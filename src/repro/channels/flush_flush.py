@@ -1,0 +1,48 @@
+"""Flush+Flush (Gruss et al., cited as [25]).
+
+A stealthier variant of Flush+Reload: the receiver never reloads the
+line — it times the ``clflush`` itself.  Flushing a *cached* line pays
+the invalidate/write-back round trip; flushing an uncached line returns
+quickly.  Same prerequisites and defense profile as Flush+Reload.
+"""
+
+from __future__ import annotations
+
+from ..platform.actor import Actor
+from ..units import us
+from .base import BaselineChannel, Prerequisites
+
+
+class FlushFlushChannel(BaselineChannel):
+    """(sender reload?) -> timed flush."""
+
+    name = "Flush+Flush"
+    leakage_source = "Data reuse"
+
+    @classmethod
+    def prerequisites(cls) -> Prerequisites:
+        return Prerequisites(shared_memory=True, clflush=True)
+
+    @property
+    def bit_time_ns(self) -> int:
+        return us(5)
+
+    def setup(self) -> None:
+        segment = self.sender.share_segment(4096)
+        sender_map = self.sender.map_segment(segment)
+        receiver_map = self.receiver.map_segment(segment)
+        self._sender_target = sender_map.virtual_base
+        self._receiver_target = receiver_map.virtual_base
+        # Start from a flushed state.
+        self.receiver.clflush(self._receiver_target)
+        self._threshold = (
+            Actor.CLFLUSH_CACHED_CYCLES + Actor.CLFLUSH_UNCACHED_CYCLES
+        ) / 2.0
+
+    def send_and_receive(self, bit: int) -> int:
+        if bit:
+            self.sender.timed_load(self._sender_target)
+        else:
+            self.system.run_for(us(1))
+        latency = self.receiver.timed_clflush(self._receiver_target)
+        return 1 if latency > self._threshold else 0

@@ -1,0 +1,58 @@
+"""Flush+Reload (Yarom & Falkner, cited as [65]).
+
+The classic data-reuse channel: sender and receiver share a memory
+page.  Per bit, the receiver flushes the target line; the sender
+accesses it to send a "1" (re-caching it) or stays quiet for a "0";
+the receiver then reloads the line and times it — a cached line (LLC or
+a cache-to-cache transfer from the sender's private cache) is far
+faster than DRAM.
+
+Prerequisites: shared memory and ``clflush`` (Table 3).  Survives
+randomized LLC indexing (no set conflicts involved); dies under both
+partitioning schemes because cross-domain page sharing is forbidden.
+"""
+
+from __future__ import annotations
+
+from ..cache.hierarchy import Level
+from ..units import us
+from .base import BaselineChannel, Prerequisites
+
+
+class FlushReloadChannel(BaselineChannel):
+    """Flush -> (sender reload?) -> timed reload."""
+
+    name = "Flush+Reload"
+    leakage_source = "Data reuse"
+
+    #: Reload latencies above this (cycles) mean the line came from DRAM.
+    DRAM_THRESHOLD_CYCLES = 140.0
+
+    @classmethod
+    def prerequisites(cls) -> Prerequisites:
+        return Prerequisites(shared_memory=True, clflush=True)
+
+    @property
+    def bit_time_ns(self) -> int:
+        return us(5)
+
+    def setup(self) -> None:
+        segment = self.sender.share_segment(4096)
+        sender_map = self.sender.map_segment(segment)
+        receiver_map = self.receiver.map_segment(segment)
+        self._sender_target = sender_map.virtual_base
+        self._receiver_target = receiver_map.virtual_base
+
+    def send_and_receive(self, bit: int) -> int:
+        self.receiver.clflush(self._receiver_target)
+        if bit:
+            self.sender.timed_load(self._sender_target)
+        else:
+            self.system.run_for(us(1))
+        record = self.receiver.timed_load(self._receiver_target)
+        # Either an LLC copy or a snoop hit in the sender's private
+        # cache counts as "reused".
+        if record.level in (Level.LLC, Level.REMOTE_CACHE):
+            return 1
+        return 1 if record.latency_cycles < self.DRAM_THRESHOLD_CYCLES \
+            else 0

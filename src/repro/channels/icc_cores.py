@@ -1,0 +1,82 @@
+"""IccCoresCovert (Haj-Yahya et al., "IChannels" [30]).
+
+Current-management contention: all cores of a package share a voltage
+regulator, and the power-management unit throttles instruction
+throughput while servicing large current swings.  The sender toggles a
+power-virus loop; the receiver times a fixed arithmetic loop and reads
+the throttling.
+
+The shared resource is the *per-socket* PMU/regulator, not the caches
+or the interconnect — so LLC randomization and even fine-grained
+uncore partitioning leave it intact, and only coarse (per-socket)
+partitioning separates the parties (Table 3; the paper notes a
+per-core regulator would be the targeted fix).
+"""
+
+from __future__ import annotations
+
+from ..cpu.activity import ActivityProfile
+from ..units import us
+from .base import BaselineChannel, Prerequisites
+
+#: The sender's power-virus profile: dense wide-vector compute, private
+#: caches only, maximum draw on the shared regulator.
+POWER_VIRUS_PROFILE = ActivityProfile(
+    active=True, l2_rate_per_us=200.0, stall_ratio=0.05, power_weight=1.0
+)
+
+#: Receiver reference-loop duration when unthrottled (ns).
+BASE_LOOP_NS = 2_000.0
+#: Relative slowdown while the regulator services the virus.
+THROTTLE_FACTOR = 0.09
+#: Measurement noise (relative).
+NOISE_SIGMA = 0.012
+
+
+class IccCoresChannel(BaselineChannel):
+    """Power-virus toggling vs. a timed arithmetic loop."""
+
+    name = "IccCoresCovert"
+    leakage_source = "PMU contention"
+
+    @classmethod
+    def prerequisites(cls) -> Prerequisites:
+        return Prerequisites()
+
+    @property
+    def bit_time_ns(self) -> int:
+        return us(40)
+
+    def setup(self) -> None:
+        self._rng = self.system.namer.rng("icc-cores-noise")
+        self._threshold = BASE_LOOP_NS * (1.0 + THROTTLE_FACTOR / 2.0)
+
+    def _socket_power_pressure(self) -> float:
+        """Total regulator draw on the *receiver's* socket right now."""
+        now = self.system.now
+        return sum(
+            core.profile_at(now).power_weight
+            for core in self.receiver.socket.cores
+        )
+
+    def _timed_reference_loop(self) -> float:
+        pressure = self._socket_power_pressure()
+        throttle = THROTTLE_FACTOR if pressure >= 1.0 else 0.0
+        duration = BASE_LOOP_NS * (
+            1.0 + throttle + float(self._rng.normal(0.0, NOISE_SIGMA))
+        )
+        self.system.engine.run_for(max(int(duration), 1))
+        return duration
+
+    def send_and_receive(self, bit: int) -> int:
+        if bit:
+            self.sender.set_profile(POWER_VIRUS_PROFILE)
+        else:
+            self.sender.go_idle()
+        self.system.run_for(us(4))
+        # Average a few reference loops for stability.
+        loops = [self._timed_reference_loop() for _ in range(8)]
+        self.sender.go_idle()
+        self.system.run_for(us(10))
+        mean = sum(loops) / len(loops)
+        return 1 if mean > self._threshold else 0

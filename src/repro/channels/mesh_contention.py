@@ -1,0 +1,95 @@
+"""Mesh interconnect contention (Dai et al., "Don't Mesh Around" [11]).
+
+The receiver repeatedly times LLC loads whose route crosses several
+mesh links; the sender modulates heavy LLC traffic over an overlapping
+route.  Contention on the shared link inflates the receiver's latency
+by a measurable constant.
+
+No prerequisites beyond co-location; survives randomized LLC indexing
+(latency, not set conflicts).  Killed by time-multiplexed (fine) NoC
+partitioning — cross-domain flows never share a slot — and trivially by
+coarse partitioning (no shared mesh).  (Table 3.)
+"""
+
+from __future__ import annotations
+
+from ..errors import ChannelError
+from ..units import us
+from ..workloads.loops import traffic_profile
+from .base import BaselineChannel, Prerequisites
+
+
+class MeshContentionChannel(BaselineChannel):
+    """Timed far-slice loads vs. a modulated competing flow."""
+
+    name = "Mesh-contention"
+    leakage_source = "Interconnect contention"
+
+    #: Receiver probing distance: a long route crosses more links.
+    PROBE_HOPS = 3
+    #: Latency inflation (cycles) that decodes as "1".
+    DELTA_THRESHOLD_CYCLES = 3.0
+    #: Length of the receiver's per-bit measurement window.
+    MEASURE_NS = us(120)
+
+    @classmethod
+    def prerequisites(cls) -> Prerequisites:
+        return Prerequisites()
+
+    @property
+    def bit_time_ns(self) -> int:
+        return us(400)
+
+    def setup(self) -> None:
+        self._probe_set = self.receiver.build_measurement_list(
+            hops=self.PROBE_HOPS
+        )
+        self.receiver.warm_list(self._probe_set)
+        self._sender_slice = self._pick_contending_slice()
+        hops = self.sender.socket.hops(self.sender.core_id,
+                                       self._sender_slice)
+        self._sender_profile = traffic_profile(hops)
+
+    def _pick_contending_slice(self) -> int:
+        """A slice whose route from the sender shares a mesh link with
+        the receiver's probe route."""
+        if self.cross_socket:
+            # No shared mesh; any target will (correctly) never contend.
+            return self.sender.local_slice()
+        mesh = self.sender.socket.mesh
+        probe_route = set(
+            mesh.core_slice_route(self.receiver.core_id,
+                                  self._probe_set.slice_id)
+        )
+        for slice_id in range(mesh.num_cores):
+            route = mesh.core_slice_route(self.sender.core_id, slice_id)
+            if probe_route & set(route):
+                return slice_id
+        # The probe route always ends at the slice ingress port, which
+        # the sender can reach from anywhere.
+        raise ChannelError(
+            "no sender route overlaps the receiver's probe route"
+        )
+
+    def send_and_receive(self, bit: int) -> int:
+        """Differential decode: quiet half-slot vs. driven half-slot.
+
+        Measuring both halves within the same bit keeps the slowly
+        moving uncore frequency (which the sender's heavy traffic also
+        drags around) common-mode; only the link contention differs.
+        """
+        self.sender.go_idle()
+        self.system.run_for(us(10))
+        quiet = self.receiver.measure_window(self._probe_set,
+                                             self.MEASURE_NS)
+        if bit:
+            self.sender.set_profile(self._sender_profile,
+                                    self._sender_slice)
+        self.system.run_for(us(10))
+        driven = self.receiver.measure_window(self._probe_set,
+                                              self.MEASURE_NS)
+        self.sender.go_idle()
+        remaining = self.bit_time_ns - 2 * self.MEASURE_NS - us(20)
+        if remaining > 0:
+            self.system.run_for(remaining)
+        return 1 if driven - quiet > self.DELTA_THRESHOLD_CYCLES else 0

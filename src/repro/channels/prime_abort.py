@@ -1,0 +1,64 @@
+"""Prime+Abort (Disselkoen et al., cited as [14]).
+
+Prime+Probe without a timer: the receiver primes the agreed LLC set
+*inside a transactional region* (Intel TSX).  When the sender's
+congruent accesses evict any line of the transaction's read set, the
+transaction aborts — the abort signal itself is the bit.
+
+Needs TSX (Table 3's "No TSX" column is its only extra prerequisite);
+randomized LLC and partitioning break the underlying set conflict just
+as for Prime+Probe.
+"""
+
+from __future__ import annotations
+
+from ..units import us
+from .base import BaselineChannel, Prerequisites
+
+
+class PrimeAbortChannel(BaselineChannel):
+    """Prime in a transaction -> (sender evict?) -> abort?"""
+
+    name = "Prime+Abort"
+    leakage_source = "LLC set conflict"
+
+    SET_LINES = 27
+    TARGET_SLICE = 0
+    TARGET_SET = 96
+
+    @classmethod
+    def prerequisites(cls) -> Prerequisites:
+        return Prerequisites(tsx=True)
+
+    @property
+    def bit_time_ns(self) -> int:
+        return us(20)
+
+    def setup(self) -> None:
+        # Validate TSX availability up front (constructor-time
+        # prerequisite, as in Table 3).
+        self.receiver.begin_transaction([])
+        self.receiver.end_transaction()
+        self._receiver_lines = self.receiver.builder.build_llc_set_list(
+            self.TARGET_SLICE, self.TARGET_SET, self.SET_LINES
+        )
+        self._sender_lines = self.sender.builder.build_llc_set_list(
+            self.TARGET_SLICE, self.TARGET_SET, self.SET_LINES
+        )
+
+    def send_and_receive(self, bit: int) -> int:
+        # Prime the set, then open the transaction over the primed lines.
+        for _ in range(2):
+            for virtual in self._receiver_lines.virtual_addresses:
+                self.receiver.timed_load(virtual, advance_time=False)
+        self.receiver.begin_transaction(
+            list(self._receiver_lines.virtual_addresses)
+        )
+        self.system.run_for(us(2))
+        if bit:
+            for virtual in self._sender_lines.virtual_addresses:
+                self.sender.timed_load(virtual, advance_time=False)
+        self.system.run_for(us(2))
+        aborted = self.receiver.end_transaction()
+        self.system.run_for(self.bit_time_ns // 2)
+        return 1 if aborted else 0

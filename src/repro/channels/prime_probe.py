@@ -1,0 +1,77 @@
+"""Prime+Probe (Liu et al., cited as [42]).
+
+No shared memory, no special instructions: sender and receiver agree on
+an LLC set by convention.  The receiver *primes* the set with its own
+congruent lines; the sender evicts them by walking its own congruent
+lines to send a "1"; the receiver *probes* by re-timing its lines and
+counting slow (DRAM-latency) accesses.
+
+Broken by randomized LLC indexing (congruent lists stop colliding) and
+by both partitioning schemes (no shared set to conflict in) — exactly
+the Table 3 row.
+"""
+
+from __future__ import annotations
+
+from ..cache.hierarchy import Level
+from ..errors import ChannelError
+from ..units import us
+from .base import BaselineChannel, Prerequisites
+
+
+class PrimeProbeChannel(BaselineChannel):
+    """Prime -> (sender evict?) -> timed probe."""
+
+    name = "Prime+Probe"
+    leakage_source = "LLC set conflict"
+
+    #: Congruent lines per party: enough to own the whole LLC set plus
+    #: the private L2 set feeding it (W_L2 + W_LLC = 27).
+    SET_LINES = 27
+    #: Probe misses at or above this count decode as "1".
+    MISS_THRESHOLD = 5
+    #: The agreed-upon (slice, set) rendezvous.
+    TARGET_SLICE = 0
+    TARGET_SET = 64
+
+    @classmethod
+    def prerequisites(cls) -> Prerequisites:
+        return Prerequisites()
+
+    @property
+    def bit_time_ns(self) -> int:
+        return us(20)
+
+    def setup(self) -> None:
+        self._receiver_lines = self.receiver.builder.build_llc_set_list(
+            self.TARGET_SLICE, self.TARGET_SET, self.SET_LINES
+        )
+        self._sender_lines = self.sender.builder.build_llc_set_list(
+            self.TARGET_SLICE, self.TARGET_SET, self.SET_LINES
+        )
+        if set(self._receiver_lines.lines) & set(self._sender_lines.lines):
+            raise ChannelError(
+                "sender and receiver were assigned overlapping lines"
+            )
+
+    def _walk(self, actor, ev_set, rounds: int = 2) -> None:
+        for _ in range(rounds):
+            for virtual in ev_set.virtual_addresses:
+                actor.timed_load(virtual, advance_time=False)
+
+    def send_and_receive(self, bit: int) -> int:
+        # Prime: the receiver owns the set.
+        self._walk(self.receiver, self._receiver_lines)
+        self.system.run_for(us(2))
+        # Sender evicts (or not).
+        if bit:
+            self._walk(self.sender, self._sender_lines)
+        self.system.run_for(us(2))
+        # Probe: count accesses that fell out to DRAM.
+        misses = 0
+        for virtual in self._receiver_lines.virtual_addresses:
+            record = self.receiver.timed_load(virtual, advance_time=False)
+            if record.level is Level.DRAM:
+                misses += 1
+        self.system.run_for(self.bit_time_ns // 2)
+        return 1 if misses >= self.MISS_THRESHOLD else 0

@@ -1,0 +1,89 @@
+"""Reload+Refresh (Briongos et al., cited as [8]).
+
+A data-reuse channel that manipulates the *replacement state* of the
+target's cache set instead of flushing, so the victim keeps hitting.
+Functionally the receiver must control the target line's residency via
+congruent addresses — it combines page sharing with eviction-set
+mechanics.  That combination is why its Table 3 profile differs from
+Flush+Reload's: it still needs shared memory and (for initialisation)
+``clflush``, but a randomized LLC breaks it, because the congruent
+"refresh" set no longer maps to the target's (now secret) set.
+
+Our implementation drives the same mechanics: per bit the receiver
+cycles a congruent set to push the target out of the cache under known
+indexing, lets the sender (maybe) touch the target, and times a reload.
+"""
+
+from __future__ import annotations
+
+from ..cache.hierarchy import Level
+from ..units import us
+from .base import BaselineChannel, Prerequisites
+
+
+class ReloadRefreshChannel(BaselineChannel):
+    """Congruent-set refresh -> (sender reload?) -> timed reload."""
+
+    name = "Reload+Refresh"
+    leakage_source = "Data reuse"
+
+    DRAM_THRESHOLD_CYCLES = 140.0
+    #: Congruent lines cycled per refresh: enough to displace the target
+    #: from the receiver's private caches and its LLC set
+    #: (W_L2 + W_LLC = 27 on this platform).
+    REFRESH_LINES = 27
+
+    @classmethod
+    def prerequisites(cls) -> Prerequisites:
+        return Prerequisites(shared_memory=True, clflush=True)
+
+    @property
+    def bit_time_ns(self) -> int:
+        return us(12)
+
+    def setup(self) -> None:
+        segment = self.sender.share_segment(4096)
+        sender_map = self.sender.map_segment(segment)
+        receiver_map = self.receiver.map_segment(segment)
+        self._sender_target = sender_map.virtual_base
+        self._receiver_target = receiver_map.virtual_base
+        # Build the refresh set congruent with the target under the
+        # *assumed* (standard) indexing.
+        physical = self.receiver.space.translate(self._receiver_target)
+        line = physical >> 6
+        slice_id = self.receiver.slice_hash.slice_of(line)
+        llc_sets = (
+            self.receiver.socket.config.llc_slice_config.num_sets
+        )
+        self._refresh_set = self.receiver.builder.build_llc_set_list(
+            slice_id, line % llc_sets, self.REFRESH_LINES
+        )
+        # Reload+Refresh initialises the target's replacement state with
+        # an explicit flush (Briongos et al.) — the channel's clflush
+        # prerequisite in Table 3.
+        self.receiver.clflush(self._receiver_target)
+
+    def _refresh(self) -> None:
+        # Two passes: the first displaces the target from the private
+        # caches into the (victim) LLC; the second floods the LLC set so
+        # the target is evicted from there too.
+        for _ in range(2):
+            for virtual in self._refresh_set.virtual_addresses:
+                self.receiver.timed_load(virtual, advance_time=False)
+
+    def send_and_receive(self, bit: int) -> int:
+        self._refresh()
+        self.system.run_for(us(2))
+        if bit:
+            self.sender.timed_load(self._sender_target)
+        else:
+            self.system.run_for(us(1))
+        record = self.receiver.timed_load(self._receiver_target)
+        if record.level is Level.REMOTE_CACHE:
+            return 1
+        if record.level in (Level.L1, Level.L2):
+            # Refresh failed to displace the target (randomized LLC):
+            # the reload carries no information; decode degenerates.
+            return 0
+        return 1 if record.latency_cycles < self.DRAM_THRESHOLD_CYCLES \
+            else 0

@@ -1,0 +1,99 @@
+"""Ring interconnect contention (Paccagnella et al., "Lord of the
+Ring(s)" [50]).
+
+The ring-bus analogue of the mesh channel: the receiver times loads
+whose ring segments the sender's traffic must share, in the same
+direction.  Our experiment platform is a mesh part, so the channel is
+evaluated against a ring abstraction layered over the same socket: the
+enabled tiles become ring stops (how client parts and pre-Skylake
+Xeons arrange them) and contention is tracked per directed segment.
+
+Table 3 profile: no prerequisites, survives randomized LLC, dies under
+time-multiplexed scheduling (fine partitioning) and under coarse
+partitioning (each socket has its own ring).
+"""
+
+from __future__ import annotations
+
+from ..cache.hierarchy import Level
+from ..noc.contention import ContentionTracker
+from ..noc.ring import RingTopology
+from ..units import us
+from .base import BaselineChannel, Prerequisites
+
+
+class RingContentionChannel(BaselineChannel):
+    """Timed cross-ring loads vs. a modulated competing ring flow."""
+
+    name = "Ring-contention"
+    leakage_source = "Interconnect contention"
+
+    DELTA_THRESHOLD_CYCLES = 3.0
+    SAMPLES_PER_WINDOW = 600
+    #: Competing flow rate, in the traffic-loop unit.
+    SENDER_RATE_PER_US = 160.0
+
+    @classmethod
+    def prerequisites(cls) -> Prerequisites:
+        return Prerequisites()
+
+    @property
+    def bit_time_ns(self) -> int:
+        return us(300)
+
+    def setup(self) -> None:
+        self.ring = RingTopology(self.receiver.socket.num_cores)
+        self.tracker = ContentionTracker(
+            time_multiplexed=self.system.security.fine_partition
+        )
+        # Receiver probes the slice halfway around the ring; the sender
+        # pushes traffic across an overlapping arc.
+        stops = self.ring.num_stops
+        self._recv_src = self.receiver.core_id
+        self._recv_dst = (self.receiver.core_id + stops // 2 - 1) % stops
+        self._send_src = (self.receiver.core_id + 2) % stops
+        self._send_dst = (self._send_src + stops // 2 - 1) % stops
+        self._recv_route = self.ring.route(self._recv_src, self._recv_dst)
+        self._send_route = self.ring.route(self._send_src, self._send_dst)
+        self._sender_flow: int | None = None
+        self._ring_hops = self.ring.distance(self._recv_src,
+                                             self._recv_dst)
+
+    def _drive(self, on: bool) -> None:
+        if self._sender_flow is not None:
+            self.tracker.remove_flow(self._sender_flow)
+            self._sender_flow = None
+        if on and not self.cross_socket:
+            # A remote-socket sender has no stop on this ring.
+            self._sender_flow = self.tracker.add_flow(
+                self._send_route,
+                self.SENDER_RATE_PER_US,
+                domain=self.sender.domain,
+            )
+
+    def _measure(self) -> float:
+        """Mean latency of timed loads across the receiver's arc."""
+        model = self.system.latency_model
+        flows = self.tracker.route_contention(
+            self._recv_route, observer_domain=self.receiver.domain
+        ) / self.SENDER_RATE_PER_US
+        mhz = self.receiver.socket.uncore_freq_mhz
+        samples = model.sample_many(
+            self.SAMPLES_PER_WINDOW, Level.LLC, self._ring_hops, mhz,
+            flows,
+        )
+        mean = float(samples.mean()) + model.window_bias()
+        iter_ns = model.loop_iteration_ns(mean, self.receiver.core.freq_mhz)
+        self.system.engine.run_for(
+            max(int(iter_ns * self.SAMPLES_PER_WINDOW), 1)
+        )
+        return mean
+
+    def send_and_receive(self, bit: int) -> int:
+        self._drive(False)
+        quiet = self._measure()
+        self._drive(bool(bit))
+        driven = self._measure()
+        self._drive(False)
+        self.system.run_for(us(40))
+        return 1 if driven - quiet > self.DELTA_THRESHOLD_CYCLES else 0

@@ -1,0 +1,94 @@
+"""SPP — stochastic Prime+Probe on randomized caches (Verma et al. [56]).
+
+Set-agnostic occupancy signalling.  The receiver cycles a working set
+larger than its private L2, so a steady fraction of it lives in the
+LLC; to send a "1" the sender floods the LLC with a cache-scale working
+set of its own, statistically evicting the receiver's lines wherever
+the (possibly secret) indexing put them.  The receiver re-walks its set
+and thresholds the DRAM-miss count against a self-calibrated baseline.
+
+Because the signal is aggregate occupancy, secret set indexing does not
+defeat it (Table 3: survives "Random. LLC") — the flood's pressure is
+uniform over the slice array either way.  Partitioning removes the
+shared LLC capacity and kills it.
+
+Scaling note: occupancy channels need working sets comparable to the
+LLC (megabytes on the real part).  To keep per-access simulation
+tractable this channel is evaluated on a geometry-scaled platform —
+64-set L2 and LLC slices at the original associativities, indexing and
+victim flow — which is equivalent to scaling the working sets up on
+the full part.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..units import us
+from .base import BaselineChannel, Prerequisites
+
+
+class SppChannel(BaselineChannel):
+    """Occupancy walk -> (sender flood?) -> miss-count threshold."""
+
+    name = "SPP"
+    leakage_source = "LLC set conflict"
+
+    #: Scaled geometries: 64 sets at original associativity.
+    SCALED_L2_BYTES = 64 * 16 * 64
+    SCALED_SLICE_BYTES = 64 * 11 * 64
+    #: Receiver working set (lines): ~3x the scaled L2.
+    WORKING_SET_LINES = 3000
+    #: Sender flood (lines): most of the scaled LLC.
+    FLOOD_LINES = 8000
+
+    @classmethod
+    def prerequisites(cls) -> Prerequisites:
+        return Prerequisites()
+
+    @classmethod
+    def platform_transform(cls, config):
+        sockets = tuple(
+            replace(
+                socket,
+                l2_config=replace(socket.l2_config,
+                                  size_bytes=cls.SCALED_L2_BYTES),
+                llc_slice_config=replace(
+                    socket.llc_slice_config,
+                    size_bytes=cls.SCALED_SLICE_BYTES,
+                ),
+            )
+            for socket in config.sockets
+        )
+        return replace(config, sockets=sockets)
+
+    @property
+    def bit_time_ns(self) -> int:
+        return us(400)
+
+    def setup(self) -> None:
+        self._receiver_walk = tuple(
+            self.receiver.allocate(self.WORKING_SET_LINES * 64)
+            .addresses(64)
+        )
+        self._flood_walk = tuple(
+            self.sender.allocate(self.FLOOD_LINES * 64).addresses(64)
+        )
+        # Warm both sets, then calibrate the miss baseline for each
+        # symbol: quiet (b0) and flooded (b1).
+        self.receiver.bulk_load(self._receiver_walk)
+        self.receiver.bulk_load(self._receiver_walk)
+        b0 = self.receiver.bulk_load(self._receiver_walk)
+        self.sender.bulk_load(self._flood_walk)
+        b1 = self.receiver.bulk_load(self._receiver_walk)
+        self._threshold = (b0 + b1) / 2.0
+        self._separation = b1 - b0
+
+    def send_and_receive(self, bit: int) -> int:
+        if bit:
+            self.sender.bulk_load(self._flood_walk)
+        else:
+            self.system.run_for(us(60))
+        misses = self.receiver.bulk_load(self._receiver_walk)
+        # The walk itself re-establishes occupancy for the next bit.
+        return 1 if misses > self._threshold else 0

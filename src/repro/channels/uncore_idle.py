@@ -1,0 +1,76 @@
+"""Uncore-idle: the package-C-state channel (Chen et al. [9]).
+
+The sender modulates the platform's idle state by keeping one core busy
+(bit 1) or letting everything sleep (bit 0).  The receiver measures the
+wake-up latency of servicing a network packet — the paper's NIC method
+(Section 2.3): the gap between packet arrival and the interrupt service
+routine contains the serving core's C-state exit latency plus the
+uncore PC-state exit latencies, so a deep-sleeping platform answers
+hundreds of microseconds slower than an awake one.
+
+The packet's service path crosses every package (DMA plus interrupt
+delivery wake each sleeping uncore), which is what lets the channel
+operate cross-processor and survive even coarse partitioning
+(Table 3).  Its fatal weakness is noise: one busy core anywhere pins
+PC0 and the channel disappears, which is exactly the stress-ng column.
+"""
+
+from __future__ import annotations
+
+from ..cpu.activity import ActivityProfile
+from ..io.nic import NetworkInterface
+from ..units import ms, us
+from .base import BaselineChannel, Prerequisites
+
+#: Sender busy profile: plain compute keeps the core in C0.
+_BUSY = ActivityProfile(active=True)
+
+
+class UncoreIdleChannel(BaselineChannel):
+    """Idle-state modulation vs. NIC wake-latency measurement."""
+
+    name = "Uncore-idle"
+    leakage_source = "Idle power control"
+
+    @classmethod
+    def prerequisites(cls) -> Prerequisites:
+        return Prerequisites()
+
+    @property
+    def bit_time_ns(self) -> int:
+        return ms(4)
+
+    def setup(self) -> None:
+        # The NIC's interrupts land on the receiver's core: measuring
+        # T2 - T1 is exactly timing its own packet socket.
+        self.nic = NetworkInterface(
+            self.system,
+            socket_id=self.receiver.socket_id,
+            serving_core=self.receiver.core_id,
+            rng=self.system.namer.rng("uncore-idle-nic"),
+        )
+        # Calibrate the decision threshold from both symbol states.
+        low = self._observe_state(1)
+        high = self._observe_state(0)
+        self._threshold = (low + high) / 2.0
+
+    def _observe_state(self, bit: int) -> float:
+        self._drive(bit)
+        self.system.run_for(self.bit_time_ns - us(5))
+        value = float(self.nic.ping().wake_latency_ns)
+        self._drive(0)
+        self.system.run_for(us(5))
+        return value
+
+    def _drive(self, bit: int) -> None:
+        if bit:
+            self.sender.set_profile(_BUSY)
+        else:
+            self.sender.go_idle()
+
+    def send_and_receive(self, bit: int) -> int:
+        self._drive(bit)
+        self.system.run_for(self.bit_time_ns - us(100))
+        timing = self.nic.ping()
+        # Busy platform -> shallow states -> short wake -> bit 1.
+        return 1 if timing.wake_latency_ns < self._threshold else 0

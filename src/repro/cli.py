@@ -1,0 +1,268 @@
+"""Command-line front end: run the paper's experiments from a shell.
+
+::
+
+    python -m repro transmit --message "UFS!" --interval-ms 28
+    python -m repro characterize
+    python -m repro capacity --cross-processor --bits 150
+    python -m repro stress --threads 4
+    python -m repro defenses
+    python -m repro fingerprint --sites 16
+    python -m repro filesize
+
+Every subcommand accepts ``--seed`` for reproducibility and prints the
+same row format the benchmark harness uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import format_table
+
+
+def _cmd_transmit(args: argparse.Namespace) -> int:
+    from .core import ChannelConfig, SenderMode, UFVariationChannel
+    from .platform import System
+    from .units import ms
+
+    system = System(seed=args.seed)
+    channel = UFVariationChannel(
+        system,
+        config=ChannelConfig(interval_ns=ms(args.interval_ms)),
+        receiver_socket=1 if args.cross_processor else 0,
+        sender_mode=(
+            SenderMode.TRAFFIC if args.traffic else SenderMode.STALL
+        ),
+    )
+    bits = [
+        (byte >> shift) & 1
+        for byte in args.message.encode()
+        for shift in range(7, -1, -1)
+    ]
+    result = channel.transmit(bits)
+    received = bytearray()
+    for offset in range(0, len(result.received) - 7, 8):
+        value = 0
+        for bit in result.received[offset:offset + 8]:
+            value = (value << 1) | bit
+        received.append(value)
+    print(f"sent:     {args.message!r} ({len(bits)} bits)")
+    print(f"received: {received.decode(errors='replace')!r}")
+    print(f"BER: {100 * result.error_rate:.1f} %   capacity: "
+          f"{result.capacity_bps:.1f} bit/s")
+    channel.shutdown()
+    system.stop()
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .platform import System
+    from .platform.tracing import frequency_trace
+    from .units import ms
+    from .workloads import L2PointerChaseLoop, TrafficLoop
+
+    counts = (1, 2, 3, 4, 8, 16)
+    rows = []
+    for kind in ("None", "0-hop", "1-hop", "2-hop", "3-hop"):
+        row = [kind]
+        for threads in counts:
+            system = System(seed=args.seed)
+            for index in range(threads):
+                if kind == "None":
+                    workload = L2PointerChaseLoop(f"l2-{index}")
+                else:
+                    workload = TrafficLoop(f"t-{index}",
+                                           hops=int(kind[0]))
+                system.launch(workload, 0, index)
+            system.run_ms(900)
+            _, freqs = frequency_trace(
+                system.socket(0).pmu.timeline,
+                system.now - ms(300), system.now, ms(1),
+            )
+            row.append(f"{float(np.median(freqs)) / 1000:.1f}")
+            system.stop()
+        rows.append(row)
+    print(format_table(
+        ["traffic"] + [str(c) for c in counts], rows,
+        title="median uncore frequency (GHz) vs thread count "
+              "(Figure 3 excerpt)",
+    ))
+    return 0
+
+
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    from .core.evaluation import capacity_sweep, peak_capacity
+
+    points = capacity_sweep(
+        bits=args.bits,
+        cross_processor=args.cross_processor,
+        seed=args.seed,
+    )
+    rows = [
+        [f"{p.interval_ms:.0f}", f"{p.raw_rate_bps:.1f}",
+         f"{100 * p.error_rate:.1f}", f"{p.capacity_bps:.1f}"]
+        for p in points
+    ]
+    label = "cross-processor" if args.cross_processor else "cross-core"
+    best = peak_capacity(points)
+    print(format_table(
+        ["interval (ms)", "raw (bps)", "BER (%)", "capacity (bit/s)"],
+        rows,
+        title=f"{label} capacity sweep; peak "
+              f"{best.capacity_bps:.1f} bit/s",
+    ))
+    return 0
+
+
+def _cmd_stress(args: argparse.Namespace) -> int:
+    from .core.reliability import capacity_under_stress
+
+    rows = []
+    for threads in range(1, args.threads + 1):
+        cell = capacity_under_stress(threads, bits=args.bits,
+                                     seed=args.seed)
+        rows.append([
+            threads,
+            f"{cell.capacity_bps:.1f}",
+            f"{100 * cell.error_rate:.0f}",
+        ])
+    print(format_table(
+        ["N", "capacity (bit/s)", "BER (%)"], rows,
+        title="UF-variation under stress-ng --cache N (Table 2)",
+    ))
+    return 0
+
+
+def _cmd_defenses(args: argparse.Namespace) -> int:
+    from .defenses import analytics_energy_overhead, evaluate_defenses
+
+    rows = [
+        [
+            r.defense,
+            f"{100 * r.error_rate:.1f}",
+            f"{r.capacity_bps:.1f}",
+            "stopped" if r.channel_stopped else "functional",
+        ]
+        for r in evaluate_defenses(bits=args.bits, seed=args.seed)
+    ]
+    print(format_table(
+        ["defense", "BER (%)", "capacity", "verdict"], rows,
+        title="UF-variation vs countermeasures (Section 6.1)",
+    ))
+    if args.energy:
+        result = analytics_energy_overhead(seed=args.seed)
+        print(f"\nfixed-at-max energy overhead on analytics: "
+              f"{result.overhead_percent:.1f} % (paper: ~7 %)")
+    return 0
+
+
+def _cmd_fingerprint(args: argparse.Namespace) -> int:
+    from .sidechannel import collect_dataset, run_fingerprinting_study
+    from .sidechannel.rnn import RnnConfig
+
+    dataset = collect_dataset(
+        num_sites=args.sites, train_visits=3, test_visits=2,
+        trace_ms=args.trace_ms, seed=args.seed,
+    )
+    result = run_fingerprinting_study(
+        dataset,
+        rnn_config=RnnConfig(num_classes=args.sites, epochs=400,
+                             seed=args.seed),
+    )
+    print(f"sites: {args.sites}  attack traces: {result.test_traces}")
+    print(f"RNN top-1: {100 * result.top1:.1f} %  "
+          f"top-5: {100 * result.top5:.1f} %  "
+          f"(paper, 100 sites: 82.18 / 91.48)")
+    return 0
+
+
+def _cmd_filesize(args: argparse.Namespace) -> int:
+    from .sidechannel import run_filesize_study
+
+    study = run_filesize_study(
+        sizes_kb=tuple(300.0 * s for s in range(1, args.steps + 1)),
+        trials=args.trials,
+        seed=args.seed,
+    )
+    print(f"file-size profiling at 300 KB granularity over "
+          f"{len(study.runs)} runs: {100 * study.accuracy:.1f} % "
+          "(paper: > 99 %)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Uncore Encore (MICRO 2023) reproduction toolkit",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="experiment seed (default 0)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    transmit = commands.add_parser(
+        "transmit", help="send a message through UF-variation"
+    )
+    transmit.add_argument("--message", default="UFS!")
+    transmit.add_argument("--interval-ms", type=float, default=28.0)
+    transmit.add_argument("--cross-processor", action="store_true")
+    transmit.add_argument("--traffic", action="store_true",
+                          help="drive with the traffic loop instead "
+                               "of the stalling loop")
+    transmit.set_defaults(handler=_cmd_transmit)
+
+    characterize = commands.add_parser(
+        "characterize", help="the Figure 3 frequency matrix (excerpt)"
+    )
+    characterize.set_defaults(handler=_cmd_characterize)
+
+    capacity = commands.add_parser(
+        "capacity", help="the Figure 10 capacity sweep"
+    )
+    capacity.add_argument("--bits", type=int, default=150)
+    capacity.add_argument("--cross-processor", action="store_true")
+    capacity.set_defaults(handler=_cmd_capacity)
+
+    stress = commands.add_parser(
+        "stress", help="the Table 2 stress-ng reliability row"
+    )
+    stress.add_argument("--threads", type=int, default=9)
+    stress.add_argument("--bits", type=int, default=100)
+    stress.set_defaults(handler=_cmd_stress)
+
+    defenses = commands.add_parser(
+        "defenses", help="the Section 6.1 countermeasure study"
+    )
+    defenses.add_argument("--bits", type=int, default=60)
+    defenses.add_argument("--energy", action="store_true",
+                          help="also run the energy-overhead study")
+    defenses.set_defaults(handler=_cmd_defenses)
+
+    fingerprint = commands.add_parser(
+        "fingerprint", help="the Figure 12 website fingerprinting study"
+    )
+    fingerprint.add_argument("--sites", type=int, default=16)
+    fingerprint.add_argument("--trace-ms", type=float, default=5000.0)
+    fingerprint.set_defaults(handler=_cmd_fingerprint)
+
+    filesize = commands.add_parser(
+        "filesize", help="the Figure 11 file-size profiling study"
+    )
+    filesize.add_argument("--steps", type=int, default=8)
+    filesize.add_argument("--trials", type=int, default=2)
+    filesize.set_defaults(handler=_cmd_filesize)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

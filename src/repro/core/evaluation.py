@@ -1,0 +1,132 @@
+"""Capacity evaluation: the Figure 10 sweep.
+
+For each raw transmission rate (interval length), transmit a seeded
+random bit string, measure the bit error rate and convert to channel
+capacity.  Run in both the cross-core and cross-processor deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import PlatformConfig
+from ..platform.system import System
+from ..rng import child_rng
+from ..units import ms
+from .channel import UFVariationChannel
+from .protocol import ChannelConfig
+from .sender import SenderMode
+
+#: Interval lengths (ms) swept for Figure 10, spanning ~15 to 100 bit/s.
+DEFAULT_INTERVALS_MS: tuple[float, ...] = (
+    60.0, 45.0, 38.0, 33.0, 28.0, 24.0, 21.0, 18.0, 15.0, 12.0, 10.0
+)
+
+
+@dataclass(frozen=True)
+class CapacityPoint:
+    """One point on the Figure 10 curves."""
+
+    interval_ms: float
+    raw_rate_bps: float
+    error_rate: float
+    capacity_bps: float
+    bits: int
+
+
+def random_bits(count: int, seed: int, label: str = "payload") -> list[int]:
+    """A reproducible random payload."""
+    rng = child_rng(seed, label)
+    return [int(b) for b in rng.integers(0, 2, count)]
+
+
+def measure_capacity(
+    *,
+    interval_ms: float,
+    bits: int = 120,
+    cross_processor: bool = False,
+    seed: int = 0,
+    platform: PlatformConfig | None = None,
+    sender_mode: SenderMode = SenderMode.STALL,
+) -> CapacityPoint:
+    """Deploy a fresh channel and measure one capacity point."""
+    system = System(platform, seed=seed)
+    config = ChannelConfig(interval_ns=ms(interval_ms))
+    receiver_socket = 1 if cross_processor else 0
+    channel = UFVariationChannel(
+        system,
+        config=config,
+        sender_socket=0,
+        sender_cores=(0,),
+        receiver_socket=receiver_socket,
+        receiver_core=8,
+        sender_mode=sender_mode,
+    )
+    payload = random_bits(bits, seed, f"payload-{interval_ms}")
+    result = channel.transmit(payload)
+    channel.shutdown()
+    system.stop()
+    return CapacityPoint(
+        interval_ms=interval_ms,
+        raw_rate_bps=result.raw_rate_bps,
+        error_rate=result.error_rate,
+        capacity_bps=result.capacity_bps,
+        bits=bits,
+    )
+
+
+def capacity_sweep(
+    *,
+    intervals_ms: tuple[float, ...] = DEFAULT_INTERVALS_MS,
+    bits: int = 120,
+    cross_processor: bool = False,
+    seed: int = 0,
+    platform: PlatformConfig | None = None,
+) -> list[CapacityPoint]:
+    """The Figure 10 sweep for one deployment."""
+    return [
+        measure_capacity(
+            interval_ms=interval,
+            bits=bits,
+            cross_processor=cross_processor,
+            seed=seed,
+            platform=platform,
+        )
+        for interval in intervals_ms
+    ]
+
+
+def peak_capacity(points: list[CapacityPoint]) -> CapacityPoint:
+    """The sweep point with the highest capacity (the reported number)."""
+    if not points:
+        raise ValueError("empty sweep")
+    return max(points, key=lambda p: p.capacity_bps)
+
+
+def summarize_sweep(points: list[CapacityPoint]) -> dict[str, float]:
+    """Headline numbers of a sweep (peak capacity and its raw rate)."""
+    best = peak_capacity(points)
+    return {
+        "peak_capacity_bps": best.capacity_bps,
+        "peak_raw_rate_bps": best.raw_rate_bps,
+        "peak_interval_ms": best.interval_ms,
+        "peak_error_rate": best.error_rate,
+    }
+
+
+def mean_error_over_seeds(interval_ms: float, *, bits: int = 80,
+                          seeds: tuple[int, ...] = (0, 1, 2),
+                          cross_processor: bool = False) -> float:
+    """Average BER across seeds (smooths single-run variance)."""
+    errors = [
+        measure_capacity(
+            interval_ms=interval_ms,
+            bits=bits,
+            cross_processor=cross_processor,
+            seed=seed,
+        ).error_rate
+        for seed in seeds
+    ]
+    return float(np.mean(errors))

@@ -1,0 +1,57 @@
+"""The unprivileged uncore-frequency probe (Section 4.2).
+
+MSR reads need ring 0, so the receiver measures the uncore frequency
+indirectly: it times loads that hit a known LLC slice and inverts the
+monotone latency-vs-frequency curve of Figure 8.  The probe wraps an
+:class:`~repro.platform.actor.Actor` with a warmed measurement list
+(Listing 3) and offers both windowed averages (for Algorithm 1's
+T1/T2) and instantaneous frequency estimates (for the Section 5
+side-channel tracer).
+"""
+
+from __future__ import annotations
+
+from ..cache.eviction import EvictionSet
+from ..platform.actor import Actor
+
+
+class UncoreFrequencyProbe:
+    """A latency-based frequency sensor owned by one unprivileged actor."""
+
+    def __init__(self, actor: Actor, *, hops: int = 1,
+                 list_size: int = 20) -> None:
+        self.actor = actor
+        self.hops = hops
+        self.ev_set: EvictionSet = actor.build_measurement_list(
+            hops=hops, count=list_size
+        )
+        actor.warm_list(self.ev_set)
+
+    def measure_avg_latency(self, duration_ns: int) -> float:
+        """Average LLC latency over a window (Algorithm 1's T1/T2)."""
+        return self.actor.measure_window(self.ev_set, duration_ns)
+
+    def estimate_frequency_mhz(self, samples: int = 16) -> float:
+        """One quick frequency estimate from a short timed burst."""
+        return self.actor.probe_frequency_mhz(self.ev_set, samples=samples)
+
+    def trace(self, duration_ns: int,
+              sample_period_ns: int) -> list[tuple[int, float]]:
+        """Sample the frequency estimate periodically for a duration.
+
+        Returns ``(time_ns, estimated_mhz)`` pairs.  This is the
+        Section 5 attacker's collection loop (one estimate every 3 ms in
+        the paper); between bursts the actor's core stays busy so the
+        helper-thread arithmetic of the attack methodology is unchanged.
+        """
+        engine = self.actor.system.engine
+        deadline = engine.now + duration_ns
+        points: list[tuple[int, float]] = []
+        while engine.now < deadline:
+            t = engine.now
+            estimate = self.estimate_frequency_mhz()
+            points.append((t, estimate))
+            next_sample = t + sample_period_ns
+            if next_sample > engine.now:
+                engine.run_for(min(next_sample, deadline) - engine.now)
+        return points

@@ -1,0 +1,77 @@
+"""The UF-variation receiver (Algorithm 1, receiver side).
+
+An unprivileged actor that measures the average LLC latency in the
+first and last ``measure_ns`` of each transmission interval and decodes
+the bit from the latency trend (Section 4.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..platform.system import System
+from .probe import UncoreFrequencyProbe
+from .protocol import ChannelConfig, ChannelEndpoints, decode_bit
+
+
+@dataclass(frozen=True)
+class IntervalObservation:
+    """What the receiver saw during one transmission interval."""
+
+    t1_cycles: float
+    t2_cycles: float
+    decoded: int
+
+
+class UFReceiver:
+    """The receiving endpoint: a probe plus the Algorithm 1 decoder."""
+
+    def __init__(self, system: System, *, socket_id: int = 0,
+                 core_id: int = 8, config: ChannelConfig | None = None,
+                 endpoints: ChannelEndpoints | None = None,
+                 domain: int = 0) -> None:
+        self.system = system
+        self.config = config if config is not None else ChannelConfig()
+        self.config.validate()
+        self.actor = system.create_actor(
+            f"uf-receiver-{socket_id}.{core_id}", socket_id, core_id,
+            domain=domain,
+        )
+        self.probe = UncoreFrequencyProbe(
+            self.actor, hops=self.config.hops,
+            list_size=self.config.list_size,
+        )
+        self.endpoints = endpoints
+        self.observations: list[IntervalObservation] = []
+
+    def receive_bit(self) -> int:
+        """Run one interval's worth of measurement and decode the bit.
+
+        The caller is responsible for interval alignment (the
+        sender/receiver pair synchronise on the timestamp counter; the
+        channel driver enforces the shared grid).
+        """
+        if self.endpoints is None:
+            from ..errors import ChannelError
+
+            raise ChannelError(
+                "receiver is not calibrated: provide ChannelEndpoints "
+                "(see core.protocol.calibrate_endpoints)"
+            )
+        config = self.config
+        engine = self.system.engine
+        interval_end = engine.now + config.interval_ns
+        t1 = self.probe.measure_avg_latency(config.measure_ns)
+        wait_until = interval_end - config.measure_ns
+        if wait_until > engine.now:
+            engine.run_for(wait_until - engine.now)
+        t2 = self.probe.measure_avg_latency(config.measure_ns)
+        if interval_end > engine.now:
+            engine.run_for(interval_end - engine.now)
+        decoded = decode_bit(t1, t2, self.endpoints, config)
+        self.observations.append(IntervalObservation(t1, t2, decoded))
+        return decoded
+
+    def shutdown(self) -> None:
+        """Release the receiver's core."""
+        self.actor.retire()

@@ -1,0 +1,108 @@
+"""The UF-variation sender (Algorithm 1, sender side).
+
+To send a "1" the sender drives the uncore frequency up for one
+interval; to send a "0" it goes idle and lets the frequency decay.
+Two drive mechanisms exist (Section 4.3.1):
+
+* ``STALL`` — the pointer-chasing stalling loop (Listing 2): with the
+  receiver as the only other active core, the stalled fraction exceeds
+  1/3 and the PMU pins toward the maximum at full stepping speed.
+* ``TRAFFIC`` — a heavy far-slice traffic loop (Listing 1): the
+  interconnect demand alone targets the maximum frequency.  Immune to
+  the active-core-dilution noise of Section 4.3.3.
+
+The sender may own several cores (``stall multiple cores
+simultaneously``, Section 4.3.3) to keep the stalled fraction above 1/3
+despite other active processes.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..cpu.activity import IDLE
+from ..errors import ChannelError, PlacementError
+from ..platform.system import System
+from ..workloads.base import Workload
+from ..workloads.loops import stalling_profile, traffic_profile
+
+
+class SenderMode(enum.Enum):
+    """How the sender drives the uncore frequency for a "1"."""
+
+    STALL = "stall"
+    TRAFFIC = "traffic"
+
+
+class _SenderThread(Workload):
+    """One sender core, toggled between mark (1) and space (0)."""
+
+    def __init__(self, name: str, mode: SenderMode, hops: int,
+                 domain: int = 0) -> None:
+        super().__init__(name, domain)
+        self.mode = mode
+        self.hops = hops
+        self._target_slice: int | None = None
+
+    def on_attach(self) -> None:
+        socket = self.system.socket(self.socket_id)
+        candidates = socket.mesh.slices_at_distance(self.core_id, self.hops)
+        if not candidates:
+            raise PlacementError(
+                f"{self.name}: no slice at distance {self.hops} from "
+                f"core {self.core_id}"
+            )
+        self._target_slice = candidates[0]
+
+    def mark(self) -> None:
+        """Drive the uncore (send a 1)."""
+        if self.mode is SenderMode.STALL:
+            self.apply_profile(stalling_profile(self.hops),
+                               self._target_slice)
+        else:
+            self.apply_profile(traffic_profile(self.hops),
+                               self._target_slice)
+
+    def space(self) -> None:
+        """Go idle (send a 0)."""
+        self.apply_profile(IDLE)
+
+
+class UFSender:
+    """The sending endpoint: one or more driven cores on one socket."""
+
+    def __init__(self, system: System, *, socket_id: int = 0,
+                 core_ids: tuple[int, ...] = (0,),
+                 mode: SenderMode = SenderMode.STALL,
+                 hops: int = 3, domain: int = 0) -> None:
+        if not core_ids:
+            raise ChannelError("sender needs at least one core")
+        self.system = system
+        self.socket_id = socket_id
+        self.mode = mode
+        self.threads: list[_SenderThread] = []
+        for index, core_id in enumerate(core_ids):
+            thread = _SenderThread(
+                f"uf-sender-{socket_id}.{core_id}", mode, hops, domain
+            )
+            thread.attach(system, socket_id, core_id)
+            thread.start()
+            thread.space()
+            self.threads.append(thread)
+
+    def drive(self, bit: int) -> None:
+        """Start transmitting ``bit`` for the current interval."""
+        if bit not in (0, 1):
+            raise ChannelError(f"bits are 0 or 1, got {bit!r}")
+        for thread in self.threads:
+            if bit:
+                thread.mark()
+            else:
+                thread.space()
+
+    def shutdown(self) -> None:
+        """Stop all sender threads and release their cores."""
+        for thread in self.threads:
+            thread.stop()
+            thread.detach()
+        self.threads.clear()

@@ -1,0 +1,75 @@
+"""Core-frequency (P-state) governors.
+
+Section 2.2.1: Intel cores pick P-states through SpeedStep (OS-driven)
+or SpeedShift (hardware-driven with OS hints), and — crucially for the
+paper — **UFS only operates while every active core runs at or below
+the base frequency**.  The experiments therefore use the ``powersave``
+governor (Table 1).  This module models the governor layer:
+
+* ``POWERSAVE`` — all cores at base frequency (the paper's setup);
+* ``PERFORMANCE`` — active cores at the turbo ceiling, which pins the
+  uncore at its maximum and *implicitly disables the UFS channel*;
+* ``ONDEMAND`` — cores sprint to turbo while busy and drop to base
+  when idle, so the uncore is pinned exactly while anything runs.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..engine import PeriodicTask
+from ..errors import ConfigError
+from ..units import ms
+
+
+class GovernorPolicy(enum.Enum):
+    """The OS frequency-selection policy."""
+
+    POWERSAVE = "powersave"
+    PERFORMANCE = "performance"
+    ONDEMAND = "ondemand"
+
+
+class DvfsGovernor:
+    """Periodically re-selects P-states for one socket's cores."""
+
+    def __init__(self, system, *, socket_id: int = 0,
+                 policy: GovernorPolicy = GovernorPolicy.POWERSAVE,
+                 turbo_mhz: int = 3200,
+                 period_ms: float = 10.0) -> None:
+        socket = system.socket(socket_id)
+        if turbo_mhz < socket.config.base_freq_mhz:
+            raise ConfigError("turbo frequency below base frequency")
+        if turbo_mhz % 100:
+            raise ConfigError("P-states are 100 MHz operating points")
+        self.system = system
+        self.socket = socket
+        self.policy = policy
+        self.turbo_mhz = turbo_mhz
+        self._task = PeriodicTask(
+            system.engine, ms(period_ms), self._evaluate,
+            name=f"dvfs-governor-{socket_id}",
+        )
+        self._evaluate()
+
+    def _evaluate(self) -> None:
+        now = self.system.now
+        base = self.socket.config.base_freq_mhz
+        for core in self.socket.cores:
+            if self.policy is GovernorPolicy.POWERSAVE:
+                target = base
+            elif self.policy is GovernorPolicy.PERFORMANCE:
+                target = self.turbo_mhz
+            else:  # ONDEMAND: sprint while the core has work
+                target = self.turbo_mhz if core.is_active(now) else base
+            if core.freq_mhz != target:
+                core.set_p_state(target)
+
+    def set_policy(self, policy: GovernorPolicy) -> None:
+        """Switch policy; takes effect at once."""
+        self.policy = policy
+        self._evaluate()
+
+    def stop(self) -> None:
+        """Stop re-evaluating (cores keep their last P-state)."""
+        self._task.stop()

@@ -1,0 +1,97 @@
+"""Model-specific registers relevant to UFS.
+
+Two registers matter to the paper (Section 2.2.1 and Figure 1):
+
+* ``UNCORE_RATIO_LIMIT`` (0x620) — bits 0-6 hold the *maximum* uncore
+  ratio and bits 8-14 the *minimum*, both in 100 MHz units.  The OS
+  constrains UFS by writing it; setting min == max disables UFS, which
+  is the "fix the uncore frequency" countermeasure of Section 6.1.
+* ``U_PMON_UCLK_FIXED_CTR`` (0x704) — increments once per uncore clock
+  tick; reading it twice across a known wall-clock gap recovers the
+  uncore frequency, which is how Section 3 gathers its traces.
+
+MSR access is privileged: reads and writes from an unprivileged actor
+raise :class:`~repro.errors.PrivilegeError`, which is exactly why the
+paper's *receiver* needs the latency-based frequency probe instead
+(Section 4.2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..errors import PrivilegeError, SimulationError
+
+MSR_UNCORE_RATIO_LIMIT = 0x620
+MSR_UCLK_FIXED_CTR = 0x704
+
+_RATIO_UNIT_MHZ = 100
+
+
+def encode_uncore_ratio_limit(min_freq_mhz: int, max_freq_mhz: int) -> int:
+    """Pack (min, max) uncore frequencies into the Figure 1 layout."""
+    if min_freq_mhz % _RATIO_UNIT_MHZ or max_freq_mhz % _RATIO_UNIT_MHZ:
+        raise SimulationError("uncore ratios are in 100 MHz units")
+    max_ratio = max_freq_mhz // _RATIO_UNIT_MHZ
+    min_ratio = min_freq_mhz // _RATIO_UNIT_MHZ
+    if not 0 <= max_ratio < 128 or not 0 <= min_ratio < 128:
+        raise SimulationError("uncore ratios are 7-bit fields")
+    return (min_ratio << 8) | max_ratio
+
+
+def decode_uncore_ratio_limit(value: int) -> tuple[int, int]:
+    """Unpack the Figure 1 layout into (min_mhz, max_mhz)."""
+    max_ratio = value & 0x7F
+    min_ratio = (value >> 8) & 0x7F
+    return min_ratio * _RATIO_UNIT_MHZ, max_ratio * _RATIO_UNIT_MHZ
+
+
+class MsrFile:
+    """One socket's MSR space with static values and dynamic providers.
+
+    Dynamic registers (the uclk counter) are backed by provider
+    callables so the value reflects simulation state at read time.
+    Write listeners let the PMU react to ``UNCORE_RATIO_LIMIT`` updates.
+    """
+
+    def __init__(self, socket_id: int) -> None:
+        self.socket_id = socket_id
+        self._values: dict[int, int] = {}
+        self._providers: dict[int, Callable[[], int]] = {}
+        self._write_listeners: dict[int, list[Callable[[int], None]]] = {}
+
+    def register_provider(self, address: int,
+                          provider: Callable[[], int]) -> None:
+        """Back ``address`` with a dynamic value source."""
+        self._providers[address] = provider
+
+    def add_write_listener(self, address: int,
+                           listener: Callable[[int], None]) -> None:
+        """Invoke ``listener(value)`` after each write to ``address``."""
+        self._write_listeners.setdefault(address, []).append(listener)
+
+    def read(self, address: int, *, privileged: bool) -> int:
+        """rdmsr.  Unprivileged access raises :class:`PrivilegeError`."""
+        if not privileged:
+            raise PrivilegeError(
+                f"rdmsr 0x{address:x} on socket {self.socket_id} requires "
+                "ring 0"
+            )
+        if address in self._providers:
+            return self._providers[address]()
+        if address in self._values:
+            return self._values[address]
+        raise SimulationError(
+            f"unimplemented MSR 0x{address:x} on socket {self.socket_id}"
+        )
+
+    def write(self, address: int, value: int, *, privileged: bool) -> None:
+        """wrmsr.  Unprivileged access raises :class:`PrivilegeError`."""
+        if not privileged:
+            raise PrivilegeError(
+                f"wrmsr 0x{address:x} on socket {self.socket_id} requires "
+                "ring 0"
+            )
+        self._values[address] = value
+        for listener in self._write_listeners.get(address, []):
+            listener(value)

@@ -1,0 +1,11 @@
+"""Discrete-event simulation engine.
+
+A minimal, deterministic event loop: integer-nanosecond time, a binary
+heap of callbacks, stable FIFO ordering for simultaneous events, and
+helpers for periodic tasks (the UFS PMU tick, activity samplers).
+"""
+
+from .simulator import Engine, Event
+from .periodic import PeriodicTask
+
+__all__ = ["Engine", "Event", "PeriodicTask"]

@@ -1,0 +1,139 @@
+"""The discrete-event core: an event heap with integer-nanosecond time.
+
+Design notes
+------------
+* Time never moves backwards.  Scheduling an event in the past raises
+  :class:`~repro.errors.SchedulingError` instead of silently reordering.
+* Two events at the same instant fire in scheduling (FIFO) order, via a
+  monotone sequence number in the heap key.  Combined with integer time
+  this makes every simulation replayable.
+* Events can be cancelled; cancellation is O(1) (a tombstone flag) and
+  the heap skips dead entries on pop.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from ..errors import SchedulingError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Compare/sort by (time, sequence)."""
+
+    time_ns: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+
+class Engine:
+    """A deterministic discrete-event simulation loop."""
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._sequence: int = 0
+        self._queue: list[Event] = []
+        self._events_fired: int = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of callbacks executed so far."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule_at(self, time_ns: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute time ``time_ns``."""
+        if time_ns < self._now:
+            raise SchedulingError(
+                f"cannot schedule at {time_ns} ns; now is {self._now} ns"
+            )
+        event = Event(time_ns=time_ns, sequence=self._sequence,
+                      callback=callback)
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule(self, delay_ns: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` after a relative delay."""
+        if delay_ns < 0:
+            raise SchedulingError(f"negative delay {delay_ns} ns")
+        return self.schedule_at(self._now + delay_ns, callback)
+
+    def _pop_live(self) -> Event | None:
+        """Pop the next non-cancelled event, or None if the queue is dry."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if not event.cancelled:
+                return event
+        return None
+
+    def step(self) -> bool:
+        """Fire the single next event.  Returns False when none remain."""
+        event = self._pop_live()
+        if event is None:
+            return False
+        self._now = event.time_ns
+        self._events_fired += 1
+        event.callback()
+        return True
+
+    def run_until(self, time_ns: int) -> None:
+        """Fire every event up to and including ``time_ns``, then set the
+        clock there even if the queue drained earlier."""
+        if time_ns < self._now:
+            raise SchedulingError(
+                f"cannot run backwards to {time_ns} ns from {self._now} ns"
+            )
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time_ns > time_ns:
+                break
+            self.step()
+        self._now = time_ns
+
+    def run_for(self, duration_ns: int) -> None:
+        """Advance the clock by ``duration_ns``, firing due events."""
+        self.run_until(self._now + duration_ns)
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        """Fire events until the queue is empty (bounded for safety)."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired >= max_events:
+                raise SchedulingError(
+                    f"run() exceeded {max_events} events; "
+                    "likely an unbounded periodic task"
+                )
+
+    def drain_cancelled(self) -> int:
+        """Compact the heap by removing tombstoned events.
+
+        Long experiments that cancel many timers can call this
+        occasionally; returns the number of entries removed.
+        """
+        before = len(self._queue)
+        live = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(live)
+        self._queue = live
+        return before - len(self._queue)

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the reproduction library.
+
+All library-specific failures derive from :class:`ReproError` so callers
+can catch the whole family with one clause while still distinguishing
+the precise condition when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A platform or experiment configuration is inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was driven into an invalid state."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or on a stopped engine."""
+
+
+class PlacementError(ReproError):
+    """A thread could not be pinned to the requested core."""
+
+
+class MemoryError_(ReproError):
+    """The simulated physical memory could not satisfy an allocation."""
+
+
+class PrivilegeError(ReproError):
+    """An unprivileged actor attempted a privileged operation (e.g. MSR)."""
+
+
+class ChannelError(ReproError):
+    """A covert channel was configured or driven incorrectly."""
+
+
+class PrerequisiteError(ChannelError):
+    """A covert channel's platform prerequisite is unavailable.
+
+    Raised, for example, when Flush+Reload is asked to run without shared
+    memory, or Prime+Abort without transactional memory (Table 3's
+    "Prerequisites" columns).
+    """
+
+
+class DefenseError(ReproError):
+    """A defense mechanism was configured inconsistently."""
+
+
+class CalibrationError(ReproError):
+    """A model calibration constant fell outside its valid range."""

@@ -1,0 +1,12 @@
+"""I/O substrate: the NIC + interrupt path of Section 2.3.
+
+The Uncore-idle baseline channel's receiver measures platform idle
+states through packet service timing: the gap between a packet's
+arrival (``T1``) and the start of its interrupt service routine
+(``T2``) contains the serving core's C-state exit latency plus the
+uncore's PC-state exit latency.
+"""
+
+from .nic import NetworkInterface, PacketTiming
+
+__all__ = ["NetworkInterface", "PacketTiming"]

@@ -1,0 +1,94 @@
+"""A network interface card with an interrupt-timing observable.
+
+Servicing a packet on an idle platform is a platform-wide wake-up:
+the DMA write and the interrupt delivery cross every package's fabric
+(waking each sleeping uncore along the path), and the ISR cannot start
+until the serving core leaves its C-state.  ``T2 - T1`` therefore sums
+
+* the serving core's C-state exit latency, and
+* the package C-state exit latencies of the sockets on the path
+  (all of them, in a glueless multi-socket system).
+
+Measuring this from user space needs only a timestamping socket — no
+privileges — which is what makes the Uncore-idle channel feasible and
+also why it is so fragile: one busy core anywhere pins PC0 everywhere
+and the observable collapses (Table 3's stress-ng column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..units import us
+
+if TYPE_CHECKING:
+    from ..platform.system import System
+
+
+@dataclass(frozen=True)
+class PacketTiming:
+    """One packet's service-timing measurement."""
+
+    arrival_ns: int       # T1: NIC timestamps the packet
+    isr_start_ns: int     # T2: the interrupt service routine runs
+    core_exit_ns: int
+    package_exit_ns: int
+
+    @property
+    def wake_latency_ns(self) -> int:
+        """The receiver's observable: T2 - T1."""
+        return self.isr_start_ns - self.arrival_ns
+
+
+class NetworkInterface:
+    """A NIC whose interrupts land on one core of one socket."""
+
+    #: Fixed service-path cost beyond the wake-up (DMA + IRQ delivery).
+    BASE_SERVICE_NS = 1_500
+    #: Relative measurement noise on the wake latency.
+    NOISE_SIGMA = 0.05
+
+    def __init__(self, system: "System", *, socket_id: int = 0,
+                 serving_core: int = 0,
+                 rng: np.random.Generator | None = None) -> None:
+        self.system = system
+        self.socket_id = socket_id
+        self.serving_core = serving_core
+        self.rng = rng if rng is not None else system.namer.rng(
+            f"nic-{socket_id}-{serving_core}"
+        )
+        self.packets_served = 0
+
+    def ping(self) -> PacketTiming:
+        """Deliver one packet and measure its service timing.
+
+        Advances simulated time by the full service path (the wake-up
+        itself plus a small post-service gap so back-to-back pings do
+        not keep the platform artificially awake).
+        """
+        system = self.system
+        now = system.now
+        socket = system.socket(self.socket_id)
+        core = socket.core(self.serving_core)
+        core_state = socket.pc_states.core_c_state(core, now)
+        core_exit = (
+            system.config.cstates.core_exit_latency_ns[core_state]
+        )
+        package_exit = sum(
+            other.pc_states.uncore_exit_latency_ns(now)
+            for other in system.sockets
+        )
+        raw = self.BASE_SERVICE_NS + core_exit + package_exit
+        jitter = 1.0 + float(self.rng.normal(0.0, self.NOISE_SIGMA))
+        latency = max(int(raw * jitter), 1)
+        system.engine.run_for(latency + us(2))
+        self.packets_served += 1
+        return PacketTiming(
+            arrival_ns=now,
+            isr_start_ns=now + latency,
+            core_exit_ns=core_exit,
+            package_exit_ns=package_exit,
+        )

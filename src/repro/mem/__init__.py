@@ -1,0 +1,37 @@
+"""Simulated physical memory and per-process address spaces.
+
+Provides page-granular physical allocation, virtual-to-physical mapping,
+shared segments (the prerequisite of the data-reuse covert channels) and
+huge pages (which some prior channels require and our threat model does
+not, Section 4.1).
+"""
+
+from .address import (
+    AddressFields,
+    cache_line_index,
+    line_address,
+    offset_bits,
+    page_number,
+    set_index,
+    tag_bits,
+)
+from .allocator import (
+    AddressSpace,
+    Allocation,
+    PhysicalMemory,
+    SharedSegment,
+)
+
+__all__ = [
+    "AddressFields",
+    "AddressSpace",
+    "Allocation",
+    "PhysicalMemory",
+    "SharedSegment",
+    "cache_line_index",
+    "line_address",
+    "offset_bits",
+    "page_number",
+    "set_index",
+    "tag_bits",
+]

@@ -1,0 +1,68 @@
+"""Address arithmetic for the cache and memory models.
+
+All addresses are integers (physical unless stated otherwise).  The
+helpers here isolate the bit-slicing conventions — line offset, set
+index, tag — so cache geometry changes stay local to configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+LINE_BYTES = 64
+LINE_SHIFT = 6  # log2(LINE_BYTES)
+
+
+def offset_bits(address: int, line_bytes: int = LINE_BYTES) -> int:
+    """The byte offset of ``address`` within its cache line."""
+    return address & (line_bytes - 1)
+
+
+def line_address(address: int, line_bytes: int = LINE_BYTES) -> int:
+    """The address rounded down to its cache-line base."""
+    return address & ~(line_bytes - 1)
+
+
+def cache_line_index(address: int, line_bytes: int = LINE_BYTES) -> int:
+    """The global line number (address / line size)."""
+    return address // line_bytes
+
+
+def set_index(address: int, num_sets: int,
+              line_bytes: int = LINE_BYTES) -> int:
+    """The set a physically-indexed cache maps ``address`` to."""
+    return (address // line_bytes) % num_sets
+
+
+def tag_bits(address: int, num_sets: int,
+             line_bytes: int = LINE_BYTES) -> int:
+    """The tag stored alongside the line (bits above the index)."""
+    return address // (line_bytes * num_sets)
+
+
+def page_number(address: int, page_bytes: int) -> int:
+    """The page frame / virtual page number containing ``address``."""
+    return address // page_bytes
+
+
+@dataclass(frozen=True)
+class AddressFields:
+    """A decoded physical address for a particular cache geometry."""
+
+    address: int
+    line: int
+    set: int
+    tag: int
+    offset: int
+
+    @classmethod
+    def decode(cls, address: int, num_sets: int,
+               line_bytes: int = LINE_BYTES) -> "AddressFields":
+        """Split ``address`` into (line, set, tag, offset) fields."""
+        return cls(
+            address=address,
+            line=cache_line_index(address, line_bytes),
+            set=set_index(address, num_sets, line_bytes),
+            tag=tag_bits(address, num_sets, line_bytes),
+            offset=offset_bits(address, line_bytes),
+        )

@@ -1,0 +1,20 @@
+"""On-chip interconnect models: the Skylake-SP mesh and a ring.
+
+Provides tile placement (Figure 2), XY routing, hop-distance queries
+(the "0-hop .. 3-hop" parameter of Sections 3.1 and 4.2) and link-level
+contention accounting used by the interconnect-contention baseline
+channels and by the time-multiplexed partitioning defense.
+"""
+
+from .topology import MeshTopology, TileKind, Tile
+from .ring import RingTopology
+from .contention import ContentionTracker, Flow
+
+__all__ = [
+    "ContentionTracker",
+    "Flow",
+    "MeshTopology",
+    "RingTopology",
+    "Tile",
+    "TileKind",
+]

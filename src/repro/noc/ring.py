@@ -1,0 +1,59 @@
+"""A ring interconnect, as used by client and pre-Skylake Xeon parts.
+
+The ring-contention baseline channel (Paccagnella et al. [50]) observes
+slot contention on ring segments.  Our experiment platform is a mesh,
+but the channel abstraction only needs segment routes and overlap
+queries, so the ring is modelled with the same link interface as the
+mesh and the channel is evaluated against whichever interconnect the
+platform exposes.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+RingLink = tuple[int, int]
+
+
+class RingTopology:
+    """``num_stops`` ring stops connected in a cycle, bidirectional."""
+
+    def __init__(self, num_stops: int) -> None:
+        if num_stops < 2:
+            raise ConfigError("a ring needs at least two stops")
+        self.num_stops = num_stops
+
+    def distance(self, src: int, dst: int) -> int:
+        """Hop count along the shorter arc."""
+        self._check(src)
+        self._check(dst)
+        clockwise = (dst - src) % self.num_stops
+        return min(clockwise, self.num_stops - clockwise)
+
+    def route(self, src: int, dst: int) -> list[RingLink]:
+        """Directed segments along the shorter arc (ties go clockwise)."""
+        self._check(src)
+        self._check(dst)
+        clockwise = (dst - src) % self.num_stops
+        counter = self.num_stops - clockwise
+        step = 1 if clockwise <= counter else -1
+        links: list[RingLink] = []
+        stop = src
+        while stop != dst:
+            nxt = (stop + step) % self.num_stops
+            links.append((stop, nxt))
+            stop = nxt
+        return links
+
+    def routes_overlap(self, a: tuple[int, int], b: tuple[int, int]) -> bool:
+        """Whether two (src, dst) transfers share a ring segment.
+
+        This is the contention predicate of the ring channel: the
+        receiver only sees the sender when their segment sets intersect
+        in the same direction.
+        """
+        return bool(set(self.route(*a)) & set(self.route(*b)))
+
+    def _check(self, stop: int) -> None:
+        if not 0 <= stop < self.num_stops:
+            raise ConfigError(f"no such ring stop {stop}")

@@ -1,0 +1,139 @@
+"""The 2D mesh interconnect of Skylake-SP (Figure 2).
+
+The die is a ``rows x cols`` grid of tiles.  A *core tile* hosts a core
+plus an LLC/directory slice; a *controller tile* hosts an integrated
+memory controller.  Disabled tiles keep functional routers (the paper's
+footnote 1), so routing crosses them freely — only their core and slice
+are fused off.
+
+Core ``i`` of a socket sits on the ``i``-th enabled core tile (in the
+configured order) and LLC slice ``i`` shares that tile, which is what
+makes "accessing the local slice" a 0-hop operation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..config import SocketConfig
+from ..errors import ConfigError
+
+Coord = tuple[int, int]
+Link = tuple[Coord, Coord]
+
+
+class TileKind(enum.Enum):
+    """What occupies a mesh grid position."""
+
+    CORE = "core"
+    IMC = "imc"
+    DISABLED = "disabled"
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One grid position on the die."""
+
+    coord: Coord
+    kind: TileKind
+    core_id: int | None = None   # also the slice id for CORE tiles
+
+
+class MeshTopology:
+    """Tile placement, XY routing and hop distances for one socket."""
+
+    def __init__(self, config: SocketConfig) -> None:
+        self.rows = config.mesh_rows
+        self.cols = config.mesh_cols
+        self._tiles: dict[Coord, Tile] = {}
+        for core_id, coord in enumerate(config.core_tiles):
+            self._tiles[coord] = Tile(coord, TileKind.CORE, core_id)
+        for coord in config.imc_tiles:
+            if coord in self._tiles:
+                raise ConfigError(f"IMC tile {coord} collides with a core")
+            self._tiles[coord] = Tile(coord, TileKind.IMC)
+        for row in range(self.rows):
+            for col in range(self.cols):
+                self._tiles.setdefault(
+                    (row, col), Tile((row, col), TileKind.DISABLED)
+                )
+        self._core_coord: dict[int, Coord] = {
+            tile.core_id: coord
+            for coord, tile in self._tiles.items()
+            if tile.kind is TileKind.CORE
+        }
+
+    @property
+    def num_cores(self) -> int:
+        return len(self._core_coord)
+
+    def tile(self, coord: Coord) -> Tile:
+        """The tile at a grid coordinate."""
+        if coord not in self._tiles:
+            raise ConfigError(f"no tile at {coord}")
+        return self._tiles[coord]
+
+    def core_coord(self, core_id: int) -> Coord:
+        """Grid coordinate of a core (and of its LLC slice)."""
+        if core_id not in self._core_coord:
+            raise ConfigError(f"no such core {core_id}")
+        return self._core_coord[core_id]
+
+    def slice_coord(self, slice_id: int) -> Coord:
+        """Grid coordinate of an LLC slice (co-located with its core)."""
+        return self.core_coord(slice_id)
+
+    def hops(self, core_id: int, slice_id: int) -> int:
+        """Manhattan hop count between a core and an LLC slice."""
+        (r1, c1) = self.core_coord(core_id)
+        (r2, c2) = self.slice_coord(slice_id)
+        return abs(r1 - r2) + abs(c1 - c2)
+
+    def slices_at_distance(self, core_id: int, hops: int) -> list[int]:
+        """All slice ids exactly ``hops`` away from ``core_id``.
+
+        This is how experiments pick "a 2-hop slice" for a given core
+        (Figure 3's traffic types, Figure 8's latency panels).
+        """
+        return [
+            slice_id
+            for slice_id in self._core_coord
+            if self.hops(core_id, slice_id) == hops
+        ]
+
+    def max_distance(self, core_id: int) -> int:
+        """The farthest slice distance reachable from ``core_id``."""
+        return max(self.hops(core_id, s) for s in self._core_coord)
+
+    def route(self, src: Coord, dst: Coord) -> list[Link]:
+        """Directed links of the XY route (X/row first, then Y/column).
+
+        Disabled tiles are crossed freely — their routers stay powered
+        (Figure 2, footnote 1).
+        """
+        links: list[Link] = []
+        row, col = src
+        step = 1 if dst[0] > row else -1
+        while row != dst[0]:
+            links.append(((row, col), (row + step, col)))
+            row += step
+        step = 1 if dst[1] > col else -1
+        while col != dst[1]:
+            links.append(((row, col), (row, col + step)))
+            col += step
+        return links
+
+    def core_slice_route(self, core_id: int, slice_id: int) -> list:
+        """The XY route from a core tile to an LLC slice tile.
+
+        The returned path ends with the slice's *ingress port* — a
+        pseudo-link shared by every request to that slice.  Two flows
+        targeting the same slice therefore contend even when their mesh
+        paths are disjoint, modelling the slice's bounded request
+        bandwidth.
+        """
+        links: list = self.route(self.core_coord(core_id),
+                                 self.slice_coord(slice_id))
+        links.append(("ingress", self.slice_coord(slice_id)))
+        return links

@@ -1,0 +1,14 @@
+"""OS-level scheduling on the simulated platform.
+
+The paper's experiments pin every thread ("pin each thread to a
+different core", Section 3.1).  Real co-tenants are scheduled: the OS
+time-slices runnable threads over cores and migrates them.  This
+package provides a time-sliced scheduler so experiments can test how
+the channels behave when the sender (or background noise) is *not*
+pinned — an ablation the paper does not run but any deployment would
+care about.
+"""
+
+from .scheduler import TimeSliceScheduler
+
+__all__ = ["TimeSliceScheduler"]

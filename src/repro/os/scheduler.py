@@ -1,0 +1,161 @@
+"""A time-sliced scheduler with migrations.
+
+Round-robin over a core pool with a configurable quantum (Linux CFS
+grants interactive threads a few milliseconds).  On every quantum
+boundary the scheduler re-places its managed workloads:
+
+* if there are more runnable workloads than cores, the overflow waits
+  (their cores' profiles go idle — they are simply not running);
+* with probability ``migrate_prob`` a running workload is moved to a
+  different core, modelling load-balancer migrations.
+
+Managed workloads must tolerate stop/start cycles — the steady loops
+(traffic, stalling, nop) and the covert-channel sender threads do; a
+:class:`~repro.workloads.base.PhasedWorkload` would restart its phase
+schedule on migration and is rejected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..engine import PeriodicTask
+from ..errors import PlacementError
+from ..platform.system import System
+from ..units import ms
+from ..workloads.base import PhasedWorkload, Workload
+
+
+class TimeSliceScheduler:
+    """Schedules unpinned workloads over a pool of cores."""
+
+    def __init__(
+        self,
+        system: System,
+        *,
+        socket_id: int = 0,
+        core_pool: list[int] | None = None,
+        quantum_ms: float = 4.0,
+        migrate_prob: float = 0.25,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.system = system
+        self.socket_id = socket_id
+        if core_pool is None:
+            socket = system.socket(socket_id)
+            core_pool = [
+                core.core_id for core in socket.cores
+                if core.owner is None
+            ]
+        if not core_pool:
+            raise PlacementError("scheduler needs at least one core")
+        self.core_pool = list(core_pool)
+        self.quantum_ns = ms(quantum_ms)
+        self.migrate_prob = migrate_prob
+        self.rng = rng if rng is not None else system.namer.rng(
+            "scheduler"
+        )
+        self._workloads: list[Workload] = []
+        self._rotation = 0
+        self.migrations = 0
+        self.preemptions = 0
+        self._task: PeriodicTask | None = None
+
+    # -- management -----------------------------------------------------------
+
+    def manage(self, workload: Workload) -> None:
+        """Take scheduling responsibility for a detached workload."""
+        if isinstance(workload, PhasedWorkload):
+            raise PlacementError(
+                "phased workloads cannot be time-sliced (their phase "
+                "schedule would restart on every migration)"
+            )
+        if workload.system is not None:
+            raise PlacementError(
+                f"{workload.name} is already placed; detach it first"
+            )
+        self._workloads.append(workload)
+
+    def start(self) -> None:
+        """Place everything and begin quantum-boundary rescheduling."""
+        if self._task is not None:
+            raise PlacementError("scheduler already running")
+        self._place()
+        self._task = PeriodicTask(
+            self.system.engine,
+            self.quantum_ns,
+            self._on_quantum,
+            name="timeslice-scheduler",
+        )
+
+    def stop(self) -> None:
+        """Stop scheduling and park every workload."""
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+        for workload in self._workloads:
+            self._suspend(workload)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _suspend(self, workload: Workload) -> None:
+        if workload.system is not None:
+            workload.stop()
+            workload.detach()
+
+    def _place(self) -> None:
+        """Assign the current rotation of workloads to the core pool.
+
+        Two passes — suspend everything that must move or wait, then
+        attach — so a core is never double-claimed mid-shuffle.
+        """
+        n = len(self._workloads)
+        if n == 0:
+            return
+        runnable = [
+            self._workloads[(self._rotation + index) % n]
+            for index in range(min(n, len(self.core_pool)))
+        ]
+        assignment = {
+            workload: self.core_pool[
+                (self._rotation + index) % len(self.core_pool)
+            ]
+            for index, workload in enumerate(runnable)
+        }
+        for workload in self._workloads:
+            target = assignment.get(workload)
+            if workload.system is None:
+                continue
+            if target is None:
+                self.preemptions += 1
+                self._suspend(workload)
+            elif workload.core_id != target:
+                self._suspend(workload)
+        for workload, core in assignment.items():
+            if workload.system is None:
+                workload.attach(self.system, self.socket_id, core)
+                workload.start()
+
+    def _on_quantum(self) -> None:
+        n = len(self._workloads)
+        if n == 0:
+            return
+        if n > len(self.core_pool):
+            # Waiting threads exist: rotate who runs.
+            self._rotation = (self._rotation + 1) % n
+            self._place()
+            return
+        if self.rng.random() < self.migrate_prob:
+            # Load-balancer migration: rotate the core assignment.
+            self._rotation = (self._rotation + 1) % max(
+                len(self.core_pool), 1
+            )
+            self.migrations += 1
+            self._place()
+
+    @property
+    def running_workloads(self) -> list[str]:
+        """Names of workloads currently on a core."""
+        return [
+            w.name for w in self._workloads if w.system is not None
+        ]

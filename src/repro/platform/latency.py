@@ -1,0 +1,127 @@
+"""The access-latency model: the receiver's only window on the uncore.
+
+Figure 8 of the paper shows that the LLC access latency measured in TSC
+cycles falls as the uncore frequency rises, for every hop distance.
+The model decomposes a timed load into:
+
+* a core-side portion, clocked by the (fixed) core clock;
+* an uncore-side portion — slice pipeline plus mesh traversal — clocked
+  by the uncore, hence scaling as ``1 / f_uncore``;
+* queueing delay from competing interconnect flows (the mesh/ring
+  contention channels' signal);
+* measurement noise with a tight IQR and a right tail, matching the
+  quantile whiskers of Figure 8.
+
+Anchor points from Figure 9 (1-hop: 79 cycles at 1.5 GHz, 71 at
+1.8 GHz, 63 at 2.2 GHz) fix the coefficients; see
+:class:`repro.config.LatencyModelConfig`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cache.hierarchy import Level
+from ..config import LatencyModelConfig
+
+
+class LatencyModel:
+    """Samples access latencies in TSC cycles."""
+
+    #: Extra uncore cycles for a directory-served cache-to-cache transfer.
+    SNOOP_EXTRA_CYCLES = 35.0
+
+    def __init__(self, config: LatencyModelConfig,
+                 rng: np.random.Generator) -> None:
+        config.validate()
+        self.config = config
+        self.rng = rng
+
+    # -- deterministic components -----------------------------------------
+
+    def mean_llc_cycles(self, hops: int, uncore_mhz: int) -> float:
+        """Noise-free LLC-hit latency at a given hop count and frequency."""
+        f_ghz = uncore_mhz / 1_000.0
+        uncore_part = self.config.slice_cycles + self.config.hop_cycles * hops
+        return self.config.core_cycles + uncore_part / f_ghz
+
+    def mean_cycles(self, level: Level, hops: int, uncore_mhz: int,
+                    contention_flows: float = 0.0) -> float:
+        """Noise-free latency for an access served at ``level``."""
+        if level is Level.L1:
+            return self.config.l1_hit_cycles
+        if level is Level.L2:
+            return self.config.l2_hit_cycles
+        f_ghz = uncore_mhz / 1_000.0
+        base = self.mean_llc_cycles(hops, uncore_mhz)
+        base += (
+            self.config.contention_cycles_per_flow * contention_flows / f_ghz
+        )
+        if level is Level.REMOTE_CACHE:
+            return base + self.SNOOP_EXTRA_CYCLES / f_ghz
+        if level is Level.DRAM:
+            return base + self.config.dram_extra_cycles
+        return base
+
+    # -- sampling ------------------------------------------------------------
+
+    def _noise(self, count: int) -> np.ndarray:
+        """Measurement jitter: tight Gaussian core plus a sparse tail."""
+        noise = self.rng.normal(0.0, self.config.noise_sigma_cycles, count)
+        tail_mask = self.rng.random(count) < self.config.noise_tail_prob
+        tail = self.rng.exponential(self.config.noise_tail_cycles, count)
+        return noise + tail_mask * tail
+
+    def sample_cycles(self, level: Level, hops: int, uncore_mhz: int,
+                      contention_flows: float = 0.0) -> float:
+        """One noisy timed load."""
+        mean = self.mean_cycles(level, hops, uncore_mhz, contention_flows)
+        return float(max(mean + self._noise(1)[0],
+                         self.config.l1_hit_cycles))
+
+    def sample_many(self, count: int, level: Level, hops: int,
+                    uncore_mhz: int,
+                    contention_flows: float = 0.0) -> np.ndarray:
+        """A batch of noisy timed loads under identical conditions."""
+        mean = self.mean_cycles(level, hops, uncore_mhz, contention_flows)
+        samples = mean + self._noise(count)
+        return np.maximum(samples, self.config.l1_hit_cycles)
+
+    def window_bias(self) -> float:
+        """Systemic bias affecting one whole measurement window.
+
+        Sample means over a window do not converge to the true mean on
+        real hardware — interrupts, prefetcher state and TLB pressure
+        shift entire windows by a fraction of a cycle.  Modelled as one
+        Gaussian draw per window.
+        """
+        return float(
+            self.rng.normal(0.0, self.config.window_jitter_cycles)
+        )
+
+    # -- inversion -------------------------------------------------------------
+
+    def frequency_from_latency(self, latency_cycles: float,
+                               hops: int) -> float:
+        """Invert the LLC-hit curve: estimated uncore frequency in MHz.
+
+        This is the receiver's unprivileged frequency probe
+        (Section 4.2): the average measured latency pins down the uncore
+        frequency because the curve is strictly monotone.
+        """
+        uncore_part = self.config.slice_cycles + self.config.hop_cycles * hops
+        core_part = latency_cycles - self.config.core_cycles
+        if core_part <= 0:
+            return float("inf")
+        return uncore_part / core_part * 1_000.0
+
+    def loop_iteration_ns(self, latency_cycles: float,
+                          core_mhz: int) -> float:
+        """Wall time of one fenced measurement-loop iteration (Listing 3).
+
+        The fences and timestamp reads serialise the loop, so each
+        iteration costs the access latency plus a fixed harness overhead,
+        all in core cycles.
+        """
+        cycles = latency_cycles + self.config.fence_overhead_cycles
+        return cycles * 1_000.0 / core_mhz

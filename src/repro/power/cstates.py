@@ -1,0 +1,52 @@
+"""Package C-state (PC-state) management (Section 2.2.2).
+
+The uncore's idle state is driven by the cores': the PC-state index can
+never exceed the smallest core C-state index on the socket.  If any
+core is in C0, the package is in PC0 and the uncore is fully active.
+
+This is the substrate of the *Uncore-idle* baseline channel [9]: the
+sender modulates the PC-state by idling or waking a core, and the
+receiver infers it from the uncore exit latency.  It is also why that
+channel dies under any background load (Table 3's stress-ng column) —
+one busy core anywhere pins PC0.
+"""
+
+from __future__ import annotations
+
+from ..config import CStateConfig
+from ..cpu.core import Core
+
+
+class PackageCStateManager:
+    """Derives the socket's PC-state from its cores' C-states."""
+
+    def __init__(self, cores: list[Core], config: CStateConfig) -> None:
+        config.validate()
+        self.cores = cores
+        self.config = config
+
+    def core_c_state(self, core: Core, time_ns: int) -> int:
+        """The C-state of one core right now."""
+        return core.c_state(time_ns, self.config.core_exit_latency_ns)
+
+    def pc_state(self, time_ns: int) -> int:
+        """The package C-state: bounded by the shallowest core state."""
+        shallowest = min(
+            self.core_c_state(core, time_ns) for core in self.cores
+        )
+        return min(shallowest, self.config.deepest_package_state)
+
+    def uncore_exit_latency_ns(self, time_ns: int) -> int:
+        """Time for the uncore to return to PC0 from its current state."""
+        return self.config.package_exit_latency_ns[self.pc_state(time_ns)]
+
+    def wake_latency_ns(self, time_ns: int, serving_core: Core) -> int:
+        """Total wake-up cost for servicing an external event.
+
+        The Uncore-idle receiver's NIC measurement (Section 2.3):
+        ``T2 - T1`` is the serving core's exit latency plus the uncore's
+        exit latency.
+        """
+        core_state = self.core_c_state(serving_core, time_ns)
+        core_latency = self.config.core_exit_latency_ns[core_state]
+        return core_latency + self.uncore_exit_latency_ns(time_ns)

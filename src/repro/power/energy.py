@@ -1,0 +1,42 @@
+"""Uncore energy accounting (Section 6.1's countermeasure cost study).
+
+Integrates the configured power model over a socket's frequency
+timeline.  Used to show that fixing the uncore at the maximum frequency
+costs ~7 % extra energy on an analytics-style workload relative to UFS,
+while fixing it low saves energy but costs performance.
+"""
+
+from __future__ import annotations
+
+from ..config import EnergyModelConfig
+from .timeline import FrequencyTimeline
+
+
+class EnergyMeter:
+    """Integrates uncore power over frequency segments."""
+
+    def __init__(self, config: EnergyModelConfig) -> None:
+        config.validate()
+        self.config = config
+
+    def energy_joules(self, timeline: FrequencyTimeline,
+                      t0_ns: int, t1_ns: int) -> float:
+        """Energy consumed by the uncore over ``[t0, t1)``."""
+        total = 0.0
+        for start, end, freq_mhz in timeline.segments(t0_ns, t1_ns):
+            watts = self.config.power_watts(freq_mhz)
+            total += watts * (end - start) / 1e9
+        return total
+
+    def average_power_watts(self, timeline: FrequencyTimeline,
+                            t0_ns: int, t1_ns: int) -> float:
+        """Mean uncore power over a window."""
+        if t1_ns <= t0_ns:
+            return 0.0
+        return self.energy_joules(timeline, t0_ns, t1_ns) / (
+            (t1_ns - t0_ns) / 1e9
+        )
+
+    def energy_at_fixed(self, freq_mhz: int, duration_ns: int) -> float:
+        """Energy if the uncore were pinned at one frequency throughout."""
+        return self.config.power_watts(freq_mhz) * duration_ns / 1e9

@@ -1,0 +1,109 @@
+"""Piecewise-constant frequency history with exact integration.
+
+Backs two observable surfaces of the platform:
+
+* the ``U_PMON_UCLK_FIXED_CTR`` MSR — its value is the integral of the
+  uncore frequency over time (one tick per uncore clock cycle), which is
+  how Section 3 derives frequency traces from repeated MSR reads;
+* frequency queries at arbitrary times, used by the latency model and
+  the trace recorder.
+
+A prefix-integral array keeps every query O(log n) in the number of
+frequency changes, which matters for multi-second experiments where the
+PMU steps thousands of times.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from ..errors import SimulationError
+
+
+class FrequencyTimeline:
+    """Monotone-time history of integer-MHz frequency changes."""
+
+    def __init__(self, initial_mhz: int, start_ns: int = 0) -> None:
+        self._times: list[int] = [start_ns]
+        self._freqs: list[int] = [initial_mhz]
+        # _prefix[i] = integral of frequency (MHz * ns) up to _times[i].
+        self._prefix: list[float] = [0.0]
+
+    @property
+    def current_mhz(self) -> int:
+        """The most recently set frequency."""
+        return self._freqs[-1]
+
+    @property
+    def change_count(self) -> int:
+        """Number of recorded frequency changes."""
+        return len(self._times) - 1
+
+    def set_frequency(self, time_ns: int, freq_mhz: int) -> None:
+        """Record a frequency change at ``time_ns``."""
+        last_time = self._times[-1]
+        if time_ns < last_time:
+            raise SimulationError(
+                f"frequency change at {time_ns} ns precedes last change "
+                f"at {last_time} ns"
+            )
+        if freq_mhz == self._freqs[-1]:
+            return
+        self._prefix.append(
+            self._prefix[-1] + self._freqs[-1] * (time_ns - last_time)
+        )
+        self._times.append(time_ns)
+        self._freqs.append(freq_mhz)
+
+    def frequency_at(self, time_ns: int) -> int:
+        """The frequency in force at ``time_ns``."""
+        index = bisect.bisect_right(self._times, time_ns) - 1
+        return self._freqs[max(index, 0)]
+
+    def _integral_to(self, time_ns: int) -> float:
+        """Integral of frequency in MHz*ns from the start to ``time_ns``."""
+        if time_ns <= self._times[0]:
+            return 0.0
+        index = bisect.bisect_right(self._times, time_ns) - 1
+        return self._prefix[index] + self._freqs[index] * (
+            time_ns - self._times[index]
+        )
+
+    def uclk_ticks(self, time_ns: int) -> int:
+        """Uncore clock cycles elapsed from the start to ``time_ns``.
+
+        ``freq`` is in MHz and time in ns, so ``MHz * ns / 1000`` gives
+        cycles.  This value backs the fixed uclk counter MSR.
+        """
+        return int(self._integral_to(time_ns) / 1_000.0)
+
+    def average_mhz(self, t0: int, t1: int) -> float:
+        """Time-weighted mean frequency over ``[t0, t1)``."""
+        if t1 <= t0:
+            raise SimulationError(f"empty window [{t0}, {t1})")
+        return (self._integral_to(t1) - self._integral_to(t0)) / (t1 - t0)
+
+    def samples(self, t0: int, t1: int, step_ns: int) -> list[tuple[int, int]]:
+        """(time, frequency) samples at a fixed cadence over a window."""
+        if step_ns <= 0:
+            raise SimulationError("sample step must be positive")
+        return [(t, self.frequency_at(t)) for t in range(t0, t1, step_ns)]
+
+    def segments(self, t0: int, t1: int) -> list[tuple[int, int, int]]:
+        """(start, end, frequency) segments covering ``[t0, t1)``."""
+        if t1 <= t0:
+            return []
+        result: list[tuple[int, int, int]] = []
+        index = max(bisect.bisect_right(self._times, t0) - 1, 0)
+        while index < len(self._times) and self._times[index] < t1:
+            start = max(self._times[index], t0)
+            end = (
+                self._times[index + 1]
+                if index + 1 < len(self._times)
+                else t1
+            )
+            end = min(end, t1)
+            if end > start:
+                result.append((start, end, self._freqs[index]))
+            index += 1
+        return result

@@ -1,0 +1,340 @@
+"""The UFS power-management unit: Intel's control law, reconstructed.
+
+Implements the behaviour summarised in Section 3.5 of the paper:
+
+* The uncore has operating points in 100 MHz increments; the PMU checks
+  the socket roughly every 10 ms and increases, decreases or maintains
+  the frequency (Figures 5/6).
+* The frequency follows uncore utilisation — both LLC access density
+  and interconnect traffic (Figure 3).  LLC demand alone saturates at
+  2.3 GHz; interconnect traffic is needed to reach 2.4 GHz.
+* When strictly more than 1/3 of the *active* cores are stalled on
+  memory, the uncore pins at the maximum frequency (Figure 4).
+* Increases step once per evaluation period only when heading for the
+  maximum frequency (heavy demand / stalled cores); light-demand
+  targets are approached with slow stepping — "over 50 ms to change
+  from 1.5 GHz to 1.6 GHz" (Section 4.3.1).  Decreases always step once
+  per period (Figure 6).
+* With active cores but no uncore demand, the frequency dithers between
+  1.4 and 1.5 GHz (Section 3.1) — the paper's ``freq_min``.
+* Sockets couple: a follower trails the fastest other socket by one
+  step with roughly one period of lag and stabilises 100 MHz below it
+  (Figure 7).
+
+The OS restrains (or disables) UFS through ``UNCORE_RATIO_LIMIT``; the
+PMU re-reads its limits whenever that MSR is written (Section 6.1's
+countermeasures build on exactly this).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..config import DemandModelConfig, UfsConfig
+from ..cpu.core import Core
+from ..engine import Engine, PeriodicTask
+from ..errors import ConfigError
+from .timeline import FrequencyTimeline
+
+
+@dataclass(frozen=True)
+class SocketSnapshot:
+    """What the PMU saw in one evaluation period (for tracing/tests)."""
+
+    time_ns: int
+    active_cores: int
+    stalled_cores: int
+    llc_rate_per_us: float
+    noc_score: float
+    stall_rule_triggered: bool
+    target_mhz: int
+    heavy: bool
+    freq_mhz: int
+
+
+class DemandModel:
+    """Maps integrated socket activity to a target frequency (Fig. 3 fit).
+
+    Demand is normalised to units of one traffic-loop thread
+    (``traffic_loop_rate_per_us``).  The LLC component saturates at
+    2.3 GHz; the interconnect component — thresholded on the
+    hop-squared-weighted score — reaches the maximum.  See
+    :class:`repro.config.DemandModelConfig` for the calibration.
+    """
+
+    def __init__(self, config: DemandModelConfig) -> None:
+        config.validate()
+        self.config = config
+
+    def _band_target(self, bands: tuple[tuple[float, int], ...],
+                     units: float) -> int | None:
+        target: int | None = None
+        for threshold, freq in bands:
+            if units >= threshold:
+                target = freq
+        return target
+
+    def llc_target(self, llc_rate_per_us: float) -> int | None:
+        """Target from LLC access density alone (None = no demand)."""
+        units = llc_rate_per_us / self.config.traffic_loop_rate_per_us
+        return self._band_target(self.config.llc_bands, units)
+
+    def noc_target(self, noc_score: float) -> int | None:
+        """Target from interconnect traffic alone (None = no demand)."""
+        units = noc_score / self.config.traffic_loop_rate_per_us
+        return self._band_target(self.config.noc_bands, units)
+
+    def target(self, llc_rate_per_us: float,
+               noc_score: float) -> int | None:
+        """Combined demand target; None means idle dither."""
+        candidates = [
+            t
+            for t in (
+                self.llc_target(llc_rate_per_us),
+                self.noc_target(noc_score),
+            )
+            if t is not None
+        ]
+        return max(candidates) if candidates else None
+
+
+class UfsPmu:
+    """One socket's uncore frequency controller."""
+
+    def __init__(
+        self,
+        *,
+        socket_id: int,
+        engine: Engine,
+        cores: list[Core],
+        ufs_config: UfsConfig,
+        demand_config: DemandModelConfig,
+        phase_ns: int = 0,
+        remote_frequency: Callable[[], int] | None = None,
+        coupling_lag_mhz: int = 100,
+    ) -> None:
+        ufs_config.validate()
+        self.socket_id = socket_id
+        self.engine = engine
+        self.cores = cores
+        self.config = ufs_config
+        self.demand_model = DemandModel(demand_config)
+        self.remote_frequency = remote_frequency
+        self.coupling_lag_mhz = coupling_lag_mhz
+
+        self.min_limit_mhz = ufs_config.min_freq_mhz
+        self.max_limit_mhz = ufs_config.max_freq_mhz
+        initial = self._clamp(ufs_config.active_idle_high_mhz)
+        self.timeline = FrequencyTimeline(initial, engine.now)
+        self._dither_phase = 0
+        self._slow_step_countdown = 0
+        self._last_eval_ns = engine.now
+        self.snapshots: list[SocketSnapshot] = []
+        self.keep_snapshots = False
+        self._task = PeriodicTask(
+            engine,
+            ufs_config.period_ns,
+            self._evaluate,
+            phase_ns=phase_ns if phase_ns else ufs_config.period_ns,
+            name=f"ufs-pmu-{socket_id}",
+        )
+
+    # -- public surface ------------------------------------------------------
+
+    @property
+    def current_mhz(self) -> int:
+        """The uncore frequency right now."""
+        return self.timeline.current_mhz
+
+    @property
+    def ufs_enabled(self) -> bool:
+        """UFS is disabled when the MSR window collapses to one point."""
+        return self.min_limit_mhz != self.max_limit_mhz
+
+    def set_limits(self, min_mhz: int, max_mhz: int) -> None:
+        """Apply an ``UNCORE_RATIO_LIMIT`` update (Section 6.1).
+
+        Setting min == max fixes the frequency (UFS disabled); the
+        frequency snaps into the new window immediately.
+        """
+        if min_mhz > max_mhz:
+            raise ConfigError("uncore min limit exceeds max limit")
+        self.min_limit_mhz = min_mhz
+        self.max_limit_mhz = max_mhz
+        clamped = self._clamp(self.current_mhz)
+        if clamped != self.current_mhz:
+            self.timeline.set_frequency(self.engine.now, clamped)
+
+    def next_evaluation_ns(self) -> int | None:
+        """Absolute time of the next PMU evaluation, or None if stopped."""
+        if not self._task.running:
+            return None
+        return self._task.next_fire_time()
+
+    def stop(self) -> None:
+        """Halt periodic evaluation (end of experiment)."""
+        self._task.stop()
+
+    # -- internals --------------------------------------------------------------
+
+    def _clamp(self, freq_mhz: int) -> int:
+        return max(self.min_limit_mhz, min(self.max_limit_mhz, freq_mhz))
+
+    def _idle_target(self) -> int:
+        """The active-idle dither target for this evaluation.
+
+        The idle uncore rests at the high dither level (1.5 GHz) and
+        dips to the low one (1.4 GHz) for one period in four — matching
+        the paper's traces, which sit at ~1.5 GHz with intermittent
+        excursions to 1.4 GHz (Section 3.1, Figures 5/6).
+        """
+        self._dither_phase = (self._dither_phase + 1) % 4
+        target = (
+            self.config.active_idle_low_mhz
+            if self._dither_phase == 0
+            else self.config.active_idle_high_mhz
+        )
+        return self._clamp(target)
+
+    def _observe(self, t0: int,
+                 t1: int) -> tuple[int, int, float, float, float]:
+        """Integrate all core timelines over the observation window.
+
+        Only the trailing ``observation_ns`` of the evaluation period is
+        integrated — the PMU reacts to recent behaviour.  Also returns
+        the maximum per-core window stall ratio, used by the
+        decrease-hysteresis veto.
+        """
+        t0 = max(t0, t1 - self.config.observation_ns)
+        active = 0
+        stalled = 0
+        llc_rate = 0.0
+        noc_score = 0.0
+        max_stall = 0.0
+        turbo_active = False
+        for core in self.cores:
+            stats = core.timeline.window_stats(t0, t1)
+            llc_rate += stats.llc_rate_per_us
+            noc_score += stats.noc_score
+            # Stall residue weighted by how much of the window the core
+            # was active — a core stalled for 2 of 5 ms contributes 0.4
+            # of its stall ratio.
+            residue = stats.stall_ratio * stats.active_fraction
+            max_stall = max(max_stall, residue)
+            if core.above_base and stats.active_fraction > 0.05:
+                turbo_active = True
+            if stats.is_active:
+                active += 1
+                if residue > self.config.stall_ratio_threshold:
+                    stalled += 1
+        return (active, stalled, llc_rate, noc_score, max_stall,
+                turbo_active)
+
+    def _evaluate(self) -> None:
+        """One PMU evaluation: observe, choose a target, step."""
+        now = self.engine.now
+        t0, t1 = self._last_eval_ns, now
+        self._last_eval_ns = now
+        if t1 <= t0:
+            return
+
+        (active, stalled, llc_rate, noc_score, max_stall,
+         turbo_active) = self._observe(t0, t1)
+
+        if not self.ufs_enabled:
+            # Fixed-frequency countermeasure: nothing to decide.
+            self._record(now, active, stalled, llc_rate, noc_score,
+                         False, self.current_mhz, False)
+            return
+
+        # A core that ran in a turbo P-state during the window disables
+        # dynamic scaling: the uncore "consistently stays at the
+        # maximum frequency" (Section 2.2.1) — a snap, not a ramp.
+        if turbo_active:
+            self.timeline.set_frequency(now, self.max_limit_mhz)
+            self._slow_step_countdown = 0
+            self._record(now, active, stalled, llc_rate, noc_score,
+                         False, self.max_limit_mhz, True)
+            return
+
+        stall_rule = (
+            active > 0
+            and stalled > self.config.stalled_fraction_trigger * active
+        )
+        if stall_rule:
+            target: int | None = self.max_limit_mhz
+        else:
+            target = self.demand_model.target(llc_rate, noc_score)
+            if target is not None:
+                target = self._clamp(target)
+
+        # Cross-socket coupling: trail the fastest other socket by one
+        # step (Figure 7).  The coupled target never exceeds the limits.
+        coupled_binding = False
+        if self.remote_frequency is not None:
+            coupled = self._clamp(
+                self.remote_frequency() - self.coupling_lag_mhz
+            )
+            if target is None or coupled > target:
+                if coupled > self.config.active_idle_high_mhz:
+                    target = coupled
+                    coupled_binding = True
+
+        if target is None:
+            target = self._idle_target()
+            heavy = False
+            # Decrease hysteresis: hold while stall residue lingers in
+            # the window (a stalling phase just began mid-period).
+            if (
+                target < self.current_mhz
+                and max_stall > self.config.decrease_veto_stall_ratio
+            ):
+                target = self.current_mhz
+        else:
+            # Fast stepping only when heading for the ceiling (heavy
+            # traffic or stalled cores), or when mirroring a remote
+            # socket that is itself stepping (Section 4.3.1, Figure 7).
+            heavy = (
+                stall_rule
+                or target >= self.max_limit_mhz
+                or coupled_binding
+            )
+
+        self._step_toward(now, target, heavy)
+        self._record(now, active, stalled, llc_rate, noc_score,
+                     stall_rule, target, heavy)
+
+    def _step_toward(self, now: int, target: int, heavy: bool) -> None:
+        current = self.current_mhz
+        step = self.config.step_mhz
+        if target > current:
+            if not heavy:
+                if self._slow_step_countdown > 0:
+                    self._slow_step_countdown -= 1
+                    return
+                self._slow_step_countdown = self.config.slow_step_periods - 1
+            self.timeline.set_frequency(now, min(current + step, target))
+        elif target < current:
+            self._slow_step_countdown = 0
+            self.timeline.set_frequency(now, max(current - step, target))
+        else:
+            self._slow_step_countdown = 0
+
+    def _record(self, now: int, active: int, stalled: int, llc: float,
+                noc: float, stall_rule: bool, target: int,
+                heavy: bool) -> None:
+        if self.keep_snapshots:
+            self.snapshots.append(
+                SocketSnapshot(
+                    time_ns=now,
+                    active_cores=active,
+                    stalled_cores=stalled,
+                    llc_rate_per_us=llc,
+                    noc_score=noc,
+                    stall_rule_triggered=stall_rule,
+                    target_mhz=target,
+                    heavy=heavy,
+                    freq_mhz=self.current_mhz,
+                )
+            )

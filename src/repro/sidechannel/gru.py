@@ -1,0 +1,199 @@
+"""A GRU classifier in pure numpy — the RNN ablation partner.
+
+MeshUp's classifier (which the paper reuses) is a gated recurrent
+model; the plain Elman RNN in :mod:`repro.sidechannel.rnn` is the
+simplest member of that family.  This module implements a single-layer
+GRU with full backpropagation through time so the fingerprinting bench
+can compare the two (gating helps on longer traces where the Elman
+recurrence forgets the page-load's opening structure).
+
+Update equations (reset gate r, update gate z, candidate h~)::
+
+    r_t = sigmoid(x_t W_xr + h_{t-1} W_hr + b_r)
+    z_t = sigmoid(x_t W_xz + h_{t-1} W_hz + b_z)
+    c_t = tanh   (x_t W_xc + (r_t * h_{t-1}) W_hc + b_c)
+    h_t = (1 - z_t) * h_{t-1} + z_t * c_t
+
+Classification reads a softmax head off the mean-pooled hidden states,
+matching the Elman model's head so the comparison isolates the
+recurrence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .rnn import RnnConfig, _Adam
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+@dataclass
+class _Gates:
+    """Forward-pass activations cached for one step's backward pass."""
+
+    r: np.ndarray
+    z: np.ndarray
+    c: np.ndarray
+    h_prev: np.ndarray
+
+
+class GruClassifier:
+    """Single-layer GRU + softmax head, trained with BPTT/Adam."""
+
+    _GATE_PARAMS = ("w_xr", "w_hr", "b_r", "w_xz", "w_hz", "b_z",
+                    "w_xc", "w_hc", "b_c", "w_o", "b_o")
+
+    def __init__(self, config: RnnConfig) -> None:
+        config.validate()
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        d, h, k = config.input_dim, config.hidden_dim, (
+            config.num_classes
+        )
+        sx, sh = 1.0 / np.sqrt(d), 1.0 / np.sqrt(h)
+        for gate in ("r", "z", "c"):
+            setattr(self, f"w_x{gate}", rng.normal(0, sx, (d, h)))
+            setattr(self, f"w_h{gate}", rng.normal(0, sh, (h, h)))
+            setattr(self, f"b_{gate}", np.zeros(h))
+        self.w_o = rng.normal(0, sh, (h, k))
+        self.b_o = np.zeros(k)
+        self._opt = {
+            name: _Adam.like(getattr(self, name))
+            for name in self._GATE_PARAMS
+        }
+
+    # -- forward --------------------------------------------------------------
+
+    def _step(self, x, h_prev):
+        r = _sigmoid(x @ self.w_xr + h_prev @ self.w_hr + self.b_r)
+        z = _sigmoid(x @ self.w_xz + h_prev @ self.w_hz + self.b_z)
+        c = np.tanh(
+            x @ self.w_xc + (r * h_prev) @ self.w_hc + self.b_c
+        )
+        h = (1.0 - z) * h_prev + z * c
+        return h, _Gates(r=r, z=z, c=c, h_prev=h_prev)
+
+    def _forward(self, batch):
+        n, steps, _ = batch.shape
+        h = np.zeros((n, self.config.hidden_dim))
+        hiddens = np.empty((steps, n, self.config.hidden_dim))
+        gates: list[_Gates] = []
+        for t in range(steps):
+            h, cache = self._step(batch[:, t, :], h)
+            hiddens[t] = h
+            gates.append(cache)
+        pooled = hiddens.mean(axis=0)
+        logits = pooled @ self.w_o + self.b_o
+        return hiddens, gates, pooled, logits
+
+    @staticmethod
+    def _softmax(logits):
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def _as_batch(self, features):
+        array = np.asarray(features, dtype=np.float64)
+        if array.ndim == 2:
+            array = array[:, :, None]
+        if array.shape[-1] != self.config.input_dim:
+            raise ValueError(
+                f"expected input dim {self.config.input_dim}, got "
+                f"{array.shape[-1]}"
+            )
+        return array
+
+    def predict_scores(self, features):
+        """Class probabilities for (n, steps[, input_dim]) input."""
+        _, _, _, logits = self._forward(self._as_batch(features))
+        return self._softmax(logits)
+
+    def predict(self, features):
+        """Hard top-1 predictions."""
+        return self.predict_scores(features).argmax(axis=1)
+
+    # -- backward ---------------------------------------------------------------
+
+    def _backward(self, batch, labels, hiddens, gates, pooled, probs):
+        n, steps, _ = batch.shape
+        grad_logits = probs.copy()
+        grad_logits[np.arange(n), labels] -= 1.0
+        grad_logits /= n
+        grads = {name: np.zeros_like(getattr(self, name))
+                 for name in self._GATE_PARAMS}
+        grads["w_o"] = pooled.T @ grad_logits
+        grads["b_o"] = grad_logits.sum(axis=0)
+        grad_pooled = grad_logits @ self.w_o.T / steps
+        grad_h = np.zeros((n, self.config.hidden_dim))
+        for t in range(steps - 1, -1, -1):
+            grad_h = grad_h + grad_pooled
+            g = gates[t]
+            x = batch[:, t, :]
+            # h = (1 - z) h_prev + z c
+            grad_z = grad_h * (g.c - g.h_prev)
+            grad_c = grad_h * g.z
+            grad_h_prev = grad_h * (1.0 - g.z)
+            # candidate
+            pre_c = grad_c * (1.0 - g.c**2)
+            grads["w_xc"] += x.T @ pre_c
+            grads["w_hc"] += (g.r * g.h_prev).T @ pre_c
+            grads["b_c"] += pre_c.sum(axis=0)
+            grad_rh = pre_c @ self.w_hc.T
+            grad_r = grad_rh * g.h_prev
+            grad_h_prev += grad_rh * g.r
+            # gates
+            pre_r = grad_r * g.r * (1.0 - g.r)
+            grads["w_xr"] += x.T @ pre_r
+            grads["w_hr"] += g.h_prev.T @ pre_r
+            grads["b_r"] += pre_r.sum(axis=0)
+            grad_h_prev += pre_r @ self.w_hr.T
+            pre_z = grad_z * g.z * (1.0 - g.z)
+            grads["w_xz"] += x.T @ pre_z
+            grads["w_hz"] += g.h_prev.T @ pre_z
+            grads["b_z"] += pre_z.sum(axis=0)
+            grad_h_prev += pre_z @ self.w_hz.T
+            grad_h = grad_h_prev
+        return grads
+
+    def fit(self, features, labels):
+        """Train; returns per-epoch (loss, accuracy) lists."""
+        batch_all = self._as_batch(features)
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.min() < 0 or labels.max() >= self.config.num_classes:
+            raise ValueError("labels outside the configured class range")
+        rng = np.random.default_rng(self.config.seed + 1)
+        n = batch_all.shape[0]
+        losses: list[float] = []
+        accuracies: list[float] = []
+        for _ in range(self.config.epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            correct = 0
+            for start in range(0, n, self.config.batch_size):
+                index = order[start:start + self.config.batch_size]
+                batch = batch_all[index]
+                target = labels[index]
+                hiddens, gates, pooled, logits = self._forward(batch)
+                probs = self._softmax(logits)
+                epoch_loss += float(
+                    -np.log(
+                        probs[np.arange(len(index)), target] + 1e-12
+                    ).sum()
+                )
+                correct += int((logits.argmax(axis=1) == target).sum())
+                grads = self._backward(batch, target, hiddens, gates,
+                                       pooled, probs)
+                for name, grad in grads.items():
+                    norm = np.linalg.norm(grad)
+                    if norm > self.config.grad_clip:
+                        grad = grad * (self.config.grad_clip / norm)
+                    self._opt[name].step(getattr(self, name), grad,
+                                         self.config.learning_rate)
+            losses.append(epoch_loss / n)
+            accuracies.append(correct / n)
+        return losses, accuracies

@@ -1,0 +1,51 @@
+"""A k-nearest-neighbour baseline for the fingerprinting study.
+
+Euclidean kNN over the binned activity waveforms.  Serves two roles:
+a sanity check that the synthetic traces are learnable at all, and an
+ablation partner for the RNN (the paper's classifier choice).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class KnnClassifier:
+    """Plain Euclidean kNN with distance-weighted voting."""
+
+    def __init__(self, k: int = 3, num_classes: int | None = None) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.num_classes = num_classes
+        self._train_x: np.ndarray | None = None
+        self._train_y: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> None:
+        """Memorise the training set."""
+        self._train_x = np.asarray(features, dtype=np.float64)
+        self._train_y = np.asarray(labels, dtype=np.int64)
+        if self.num_classes is None:
+            self.num_classes = int(self._train_y.max()) + 1
+
+    def predict_scores(self, features: np.ndarray) -> np.ndarray:
+        """Class scores from distance-weighted neighbour votes."""
+        if self._train_x is None:
+            raise RuntimeError("classifier is not fitted")
+        queries = np.asarray(features, dtype=np.float64)
+        diffs = queries[:, None, :] - self._train_x[None, :, :]
+        distances = np.sqrt((diffs**2).sum(axis=2))
+        scores = np.zeros((len(queries), self.num_classes))
+        k = min(self.k, self._train_x.shape[0])
+        nearest = np.argsort(distances, axis=1)[:, :k]
+        for row, neighbours in enumerate(nearest):
+            for index in neighbours:
+                weight = 1.0 / (distances[row, index] + 1e-9)
+                scores[row, self._train_y[index]] += weight
+        totals = scores.sum(axis=1, keepdims=True)
+        totals[totals == 0.0] = 1.0
+        return scores / totals
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Hard top-1 predictions."""
+        return self.predict_scores(features).argmax(axis=1)

@@ -1,0 +1,63 @@
+"""The Section 5 attack methodology: helper threads + probe.
+
+The attacker controls two cores:
+
+* a **stalling helper** running the pointer-chasing loop — with no
+  other active core, 1 of 2 active cores is stalled (> 1/3) and the
+  uncore pins at the maximum frequency;
+* a **non-stalling helper** running plain compute — it guarantees that
+  when the victim wakes, the stalled fraction is 1 of 3+ (<= 1/3) and
+  the frequency *falls*, making victim activity visible.
+
+A third core hosts the unprivileged frequency probe (Section 4.2),
+whose measurement bursts are sparse enough not to perturb the stall
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from ..core.probe import UncoreFrequencyProbe
+from ..platform.system import System
+from ..workloads.loops import NopLoop, StallingLoop
+
+
+class AttackHelpers:
+    """The stalling + non-stalling helper pair."""
+
+    def __init__(self, system: System, *, socket_id: int = 0,
+                 stall_core: int = 0, nop_core: int = 1) -> None:
+        self.stalling = StallingLoop("attacker-stall", hops=0)
+        self.non_stalling = NopLoop("attacker-nop")
+        system.launch(self.stalling, socket_id, stall_core)
+        system.launch(self.non_stalling, socket_id, nop_core)
+        self._system = system
+
+    def shutdown(self) -> None:
+        self._system.terminate(self.stalling)
+        self._system.terminate(self.non_stalling)
+
+
+class UfsAttacker:
+    """Helpers plus an unprivileged frequency probe, ready to trace."""
+
+    def __init__(self, system: System, *, socket_id: int = 0,
+                 stall_core: int = 0, nop_core: int = 1,
+                 probe_core: int = 2, probe_hops: int = 1) -> None:
+        self.system = system
+        self.helpers = AttackHelpers(
+            system, socket_id=socket_id, stall_core=stall_core,
+            nop_core=nop_core,
+        )
+        self.probe_actor = system.create_actor(
+            "attacker-probe", socket_id, probe_core
+        )
+        self.probe = UncoreFrequencyProbe(self.probe_actor,
+                                          hops=probe_hops)
+
+    def settle(self, duration_ms: float = 120.0) -> None:
+        """Let the uncore reach freq_max before tracing starts."""
+        self.system.run_ms(duration_ms)
+
+    def shutdown(self) -> None:
+        self.helpers.shutdown()
+        self.probe_actor.retire()

@@ -1,0 +1,83 @@
+"""Frequency trace collection for the side-channel attacks.
+
+The attacker samples its latency-based frequency estimate every 3 ms
+(the paper's cadence in both Section 5 attacks).  Traces are regular
+arrays ready for feature extraction and classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..units import ms
+from .methodology import UfsAttacker
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One collected frequency trace with its ground-truth label."""
+
+    label: int
+    times_ms: np.ndarray
+    freqs_mhz: np.ndarray
+
+    @property
+    def duration_ms(self) -> float:
+        return float(self.times_ms[-1]) if len(self.times_ms) else 0.0
+
+
+class FrequencyTraceCollector:
+    """Samples the attacker's probe at a fixed cadence."""
+
+    def __init__(self, attacker: UfsAttacker,
+                 sample_period_ms: float = 3.0) -> None:
+        self.attacker = attacker
+        self.sample_period_ns = ms(sample_period_ms)
+
+    def collect(self, duration_ms: float, label: int = -1) -> TraceRecord:
+        """Record a trace of ``duration_ms`` starting now."""
+        points = self.attacker.probe.trace(
+            ms(duration_ms), self.sample_period_ns
+        )
+        start = points[0][0] if points else 0
+        times = np.array([(t - start) / 1e6 for t, _ in points])
+        freqs = np.array([f for _, f in points])
+        return TraceRecord(label=label, times_ms=times, freqs_mhz=freqs)
+
+
+def active_duration_ms(trace: TraceRecord,
+                       threshold_mhz: float = 2000.0) -> float:
+    """Total time the trace spends *below* ``threshold_mhz``.
+
+    Under the attack methodology the frequency sits at freq_max while
+    the victim idles and falls toward freq_min while the victim runs,
+    so time-below-threshold estimates the victim's busy time.
+    """
+    if len(trace.times_ms) < 2:
+        return 0.0
+    below = trace.freqs_mhz < threshold_mhz
+    step = float(np.median(np.diff(trace.times_ms)))
+    return float(below.sum()) * step
+
+
+def excursion_duration_ms(trace: TraceRecord,
+                          below_mhz: float = 2330.0) -> float:
+    """Length of the trace's departure from ``freq_max``.
+
+    From the first sample below ``below_mhz`` to the last: this spans
+    the victim's busy period *plus* the UFS down- and up-ramps, whose
+    total length is a platform constant the attacker subtracts (see
+    :class:`~repro.sidechannel.filesize.FileSizeProfiler`).  Unlike
+    time-below-a-low-threshold, it stays accurate for jobs too short
+    for the frequency to reach the bottom of its range.
+    """
+    if len(trace.times_ms) < 2:
+        return 0.0
+    indices = np.flatnonzero(trace.freqs_mhz < below_mhz)
+    if indices.size == 0:
+        return 0.0
+    return float(
+        trace.times_ms[indices[-1]] - trace.times_ms[indices[0]]
+    )

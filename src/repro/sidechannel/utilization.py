@@ -1,0 +1,161 @@
+"""The *other* UFS side channel: profiling by uncore utilization.
+
+Section 5 of the paper notes that "the two factors that affect the
+uncore frequency (uncore utilization and core stalling) can both be
+used to construct side-channel attacks" and then builds only the
+stalling-based one.  This module implements the first factor as an
+extension: the attacker runs *no* helper threads, leaves the uncore at
+its idle dither, and watches the frequency **rise** whenever the victim
+places real demand on the LLC or the interconnect (Figure 3's
+mechanism).
+
+Where the stalling methodology inverts core activity (busy victim →
+frequency drop), the utilization methodology reads uncore demand
+directly (memory-heavy victim phase → frequency rise), so it can
+distinguish a victim's *compute* phases from its *memory* phases — a
+signal the helper-thread attack cannot see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.probe import UncoreFrequencyProbe
+from ..cpu.activity import ActivityProfile
+from ..platform.system import System
+from ..units import ms
+from ..workloads.base import PhasedWorkload
+from .tracer import FrequencyTraceCollector, TraceRecord
+
+
+class UtilizationAttacker:
+    """A probe-only attacker (no helper threads)."""
+
+    def __init__(self, system: System, *, socket_id: int = 0,
+                 probe_core: int = 2, probe_hops: int = 1) -> None:
+        self.system = system
+        self.probe_actor = system.create_actor(
+            "utilization-probe", socket_id, probe_core
+        )
+        self.probe = UncoreFrequencyProbe(self.probe_actor,
+                                          hops=probe_hops)
+
+    def settle(self, duration_ms: float = 60.0) -> None:
+        """Let the uncore rest at the idle dither before tracing."""
+        self.system.run_ms(duration_ms)
+
+    def shutdown(self) -> None:
+        self.probe_actor.retire()
+
+
+def memory_burst_profile(intensity: float = 1.0) -> ActivityProfile:
+    """A victim phase with real uncore demand (streaming/scanning).
+
+    A DRAM-bound scan both loads the LLC and stalls its core on the
+    misses — with the system otherwise idle, the stalled core is the
+    only active one, the >1/3 rule fires and the uncore ramps at full
+    speed (the Figure 5 dynamics, driven by the victim itself).
+    """
+    return ActivityProfile(
+        active=True,
+        llc_rate_per_us=160.0 * intensity,
+        mean_hops=1.0,
+        stall_ratio=0.62,
+    )
+
+
+def compute_phase_profile() -> ActivityProfile:
+    """A victim phase that is busy but cache-resident (no demand)."""
+    return ActivityProfile(active=True, l2_rate_per_us=150.0,
+                           stall_ratio=0.12)
+
+
+class MediaEncoderVictim(PhasedWorkload):
+    """A victim alternating memory-heavy scans and compute phases.
+
+    Models a media encoder: read a frame (memory-heavy), encode it
+    (compute-heavy), repeat.  The frame count and per-phase durations
+    are the secret the attacker recovers.
+    """
+
+    def __init__(self, name: str, *, frames: int,
+                 scan_ms: float = 60.0, encode_ms: float = 90.0,
+                 domain: int = 0) -> None:
+        self.frames = frames
+        self.scan_ms = scan_ms
+        self.encode_ms = encode_ms
+        phases: list[tuple] = []
+        for _ in range(frames):
+            phases.append((ms(scan_ms), memory_burst_profile()))
+            phases.append((ms(encode_ms), compute_phase_profile()))
+        super().__init__(name, phases, repeat=False, domain=domain)
+
+
+@dataclass(frozen=True)
+class PhaseEstimate:
+    """What the attacker recovered from one trace."""
+
+    burst_count: int
+    mean_burst_ms: float
+    mean_gap_ms: float
+
+
+def detect_bursts(trace: TraceRecord, *,
+                  threshold_mhz: float = 1900.0,
+                  min_samples: int = 3) -> PhaseEstimate:
+    """Segment a trace into high-frequency bursts.
+
+    A burst is a run of samples above ``threshold_mhz`` — the uncore
+    only leaves its idle dither when the victim's demand pushes it up,
+    so bursts map one-to-one onto the victim's memory phases.
+    """
+    high = trace.freqs_mhz > threshold_mhz
+    step = (
+        float(np.median(np.diff(trace.times_ms)))
+        if len(trace.times_ms) > 1
+        else 0.0
+    )
+    bursts: list[int] = []
+    gaps: list[int] = []
+    run = 0
+    gap = 0
+    for value in high:
+        if value:
+            if gap and bursts:
+                gaps.append(gap)
+            gap = 0
+            run += 1
+        else:
+            if run >= min_samples:
+                bursts.append(run)
+            run = 0
+            gap += 1
+    if run >= min_samples:
+        bursts.append(run)
+    return PhaseEstimate(
+        burst_count=len(bursts),
+        mean_burst_ms=float(np.mean(bursts)) * step if bursts else 0.0,
+        mean_gap_ms=float(np.mean(gaps)) * step if gaps else 0.0,
+    )
+
+
+def profile_victim(*, frames: int, scan_ms: float = 60.0,
+                   encode_ms: float = 90.0, seed: int = 0,
+                   victim_core: int = 5) -> PhaseEstimate:
+    """Run the full utilization attack against one victim execution."""
+    system = System(seed=seed)
+    attacker = UtilizationAttacker(system)
+    attacker.settle()
+    victim = MediaEncoderVictim(
+        "encoder", frames=frames, scan_ms=scan_ms, encode_ms=encode_ms
+    )
+    collector = FrequencyTraceCollector(attacker, sample_period_ms=3.0)
+    system.launch(victim, 0, victim_core)
+    duration = frames * (scan_ms + encode_ms) + 120.0
+    trace = collector.collect(duration)
+    system.terminate(victim)
+    attacker.shutdown()
+    system.stop()
+    return detect_bursts(trace)

@@ -1,0 +1,51 @@
+"""Workloads: the loops, victims and stressors of the paper.
+
+* :mod:`loops` — the traffic loop (Listing 1), stalling loop
+  (Listing 2), nop loop and L2-resident pointer chase used throughout
+  Section 3.
+* :mod:`stressor` — a ``stress-ng --cache N`` equivalent (Table 2).
+* :mod:`compression` — the file-compression victim (Figure 11).
+* :mod:`browser` — synthetic website activity signatures and the
+  browsing victim (Figure 12).
+"""
+
+from .base import PhasedWorkload, SteadyWorkload, Workload
+from .loops import (
+    L2PointerChaseLoop,
+    NopLoop,
+    StallingLoop,
+    TrafficLoop,
+    l2_pointer_chase_profile,
+    nop_profile,
+    stalling_profile,
+    traffic_profile,
+    STALLING_LOOP_RATE_PER_US,
+    STALLING_LOOP_STALL_RATIO,
+    TRAFFIC_LOOP_STALL_RATIO,
+)
+from .stressor import StressNgCache, launch_stressor_threads
+from .compression import CompressionVictim
+from .browser import BrowserVictim, WebsiteLibrary, login_variant
+
+__all__ = [
+    "BrowserVictim",
+    "CompressionVictim",
+    "L2PointerChaseLoop",
+    "NopLoop",
+    "PhasedWorkload",
+    "STALLING_LOOP_RATE_PER_US",
+    "STALLING_LOOP_STALL_RATIO",
+    "StallingLoop",
+    "SteadyWorkload",
+    "StressNgCache",
+    "TRAFFIC_LOOP_STALL_RATIO",
+    "TrafficLoop",
+    "WebsiteLibrary",
+    "Workload",
+    "l2_pointer_chase_profile",
+    "launch_stressor_threads",
+    "login_variant",
+    "nop_profile",
+    "stalling_profile",
+    "traffic_profile",
+]

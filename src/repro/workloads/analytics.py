@@ -1,0 +1,84 @@
+"""A scale-out analytics workload for the energy study (Section 6.1).
+
+The paper quantifies the fixed-frequency countermeasure's cost on
+graph-analytics applications (CloudSuite [19]): fixing the uncore at
+``freq_max`` costs ~7 % extra energy relative to UFS.  The workload
+model: alternating *compute-heavy scan* phases that drive the uncore
+hard and *synchronisation/reduce* gaps with little uncore demand, with
+a high duty cycle (analytics keeps caches busy most of the time — this
+is why the overhead is only a few percent, not tens).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cpu.activity import ActivityProfile
+from ..engine import Event
+from ..workloads.base import Workload
+from .loops import TRAFFIC_LOOP_STALL_RATIO
+
+#: Mean scan (uncore-heavy) phase length, ns.
+SCAN_PHASE_MEAN_NS = 150_000_000
+#: Mean reduce/sync (uncore-light) phase length, ns.  Graph analytics
+#: is bulk-synchronous: every worker waits at the superstep barrier, so
+#: the gaps are long enough for UFS to ramp well down.
+SYNC_PHASE_MEAN_NS = 110_000_000
+
+
+class AnalyticsWorkload(Workload):
+    """One analytics worker thread with a seeded phase schedule."""
+
+    def __init__(self, name: str, rng: np.random.Generator, *,
+                 rate_per_us: float = 160.0, domain: int = 0) -> None:
+        super().__init__(name, domain)
+        self.rng = rng
+        self.rate_per_us = rate_per_us
+        self._pending: Event | None = None
+        self._scanning = False
+
+    def on_start(self) -> None:
+        self._scanning = True
+        self._apply_scan()
+        self._schedule_flip(
+            int(self.rng.exponential(SCAN_PHASE_MEAN_NS)) + 1
+        )
+
+    def on_stop(self) -> None:
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def _schedule_flip(self, delay_ns: int) -> None:
+        self._pending = self.system.engine.schedule(delay_ns, self._flip)
+
+    def _flip(self) -> None:
+        if not self.running:
+            return
+        self._scanning = not self._scanning
+        if self._scanning:
+            self._apply_scan()
+            duration = self.rng.exponential(SCAN_PHASE_MEAN_NS)
+        else:
+            self._apply_sync()
+            duration = self.rng.exponential(SYNC_PHASE_MEAN_NS)
+        self._schedule_flip(int(duration) + 1)
+
+    def _apply_scan(self) -> None:
+        hops = int(self.rng.integers(1, 4))
+        profile = ActivityProfile(
+            active=True,
+            llc_rate_per_us=self.rate_per_us,
+            mean_hops=float(hops),
+            stall_ratio=TRAFFIC_LOOP_STALL_RATIO,
+        )
+        self.apply_profile(profile)
+
+    def _apply_sync(self) -> None:
+        profile = ActivityProfile(
+            active=True,
+            llc_rate_per_us=6.0,
+            mean_hops=0.0,
+            stall_ratio=0.10,
+        )
+        self.apply_profile(profile)

@@ -1,0 +1,218 @@
+"""Workload lifecycle and the profile/flow plumbing.
+
+A workload is a thread pinned to one core.  In the macroscopic
+simulation it does two things when its behaviour changes:
+
+* set its core's :class:`~repro.cpu.activity.ActivityProfile`, which
+  the UFS PMU integrates every evaluation period;
+* keep a flow registered on the socket's contention tracker describing
+  the mesh route its LLC traffic takes, which is what the
+  interconnect-contention baseline channels observe.
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from ..cpu.activity import ActivityProfile, IDLE
+from ..engine import Event
+from ..errors import PlacementError
+
+if TYPE_CHECKING:
+    from ..platform.system import System
+
+
+class Workload(ABC):
+    """A nameable thread that can be pinned, started and stopped."""
+
+    def __init__(self, name: str, domain: int = 0) -> None:
+        self.name = name
+        self.domain = domain
+        self.system: "System | None" = None
+        self.socket_id: int | None = None
+        self.core_id: int | None = None
+        self._flow_id: int | None = None
+        self._running = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def attach(self, system: "System", socket_id: int,
+               core_id: int) -> None:
+        """Pin to a core (claims it exclusively)."""
+        if self.system is not None:
+            raise PlacementError(f"{self.name} is already attached")
+        system.socket(socket_id).core(core_id).claim(self.name)
+        self.system = system
+        self.socket_id = socket_id
+        self.core_id = core_id
+        self.on_attach()
+
+    def detach(self) -> None:
+        """Release the core."""
+        if self.system is None:
+            return
+        self._clear_flow()
+        self.system.socket(self.socket_id).core(self.core_id).release(
+            self.system.engine.now
+        )
+        self.system = None
+        self.socket_id = None
+        self.core_id = None
+
+    def start(self) -> None:
+        """Begin running (must be attached)."""
+        if self.system is None:
+            raise PlacementError(f"{self.name} is not attached to a core")
+        self._running = True
+        self.on_start()
+
+    def stop(self) -> None:
+        """Stop running; the core goes idle."""
+        if not self._running:
+            return
+        self._running = False
+        self.on_stop()
+        if self.system is not None:
+            self.apply_profile(IDLE)
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # -- subclass hooks -------------------------------------------------------
+
+    def on_attach(self) -> None:
+        """Called after the core is claimed (optional override)."""
+
+    def on_start(self) -> None:
+        """Called when the workload starts (optional override)."""
+
+    def on_stop(self) -> None:
+        """Called when the workload stops (optional override)."""
+
+    # -- profile/flow plumbing ---------------------------------------------------
+
+    def apply_profile(self, profile: ActivityProfile,
+                      target_slice: int | None = None) -> None:
+        """Install ``profile`` on the pinned core and sync the NoC flow."""
+        if self.system is None:
+            raise PlacementError(f"{self.name} is not attached")
+        socket = self.system.socket(self.socket_id)
+        socket.core(self.core_id).set_profile(self.system.engine.now,
+                                              profile)
+        self._sync_flow(profile, target_slice)
+
+    def _sync_flow(self, profile: ActivityProfile,
+                   target_slice: int | None) -> None:
+        socket = self.system.socket(self.socket_id)
+        self._clear_flow()
+        if profile.llc_rate_per_us <= 0 or target_slice is None:
+            return
+        route = socket.mesh.core_slice_route(self.core_id, target_slice)
+        if not route:
+            return
+        self._flow_id = socket.contention.add_flow(
+            route, profile.llc_rate_per_us, domain=self.domain
+        )
+
+    def _clear_flow(self) -> None:
+        if self._flow_id is not None and self.system is not None:
+            self.system.socket(self.socket_id).contention.remove_flow(
+                self._flow_id
+            )
+            self._flow_id = None
+
+    def __repr__(self) -> str:
+        where = (
+            f"socket={self.socket_id}, core={self.core_id}"
+            if self.system is not None
+            else "unattached"
+        )
+        return f"{type(self).__name__}({self.name!r}, {where})"
+
+
+class SteadyWorkload(Workload):
+    """A workload with one constant profile until stopped."""
+
+    def __init__(self, name: str, profile: ActivityProfile,
+                 target_hops: int | None = None, domain: int = 0) -> None:
+        super().__init__(name, domain)
+        self.profile = profile
+        self.target_hops = target_hops
+        self._target_slice: int | None = None
+
+    def on_attach(self) -> None:
+        if self.target_hops is None:
+            return
+        socket = self.system.socket(self.socket_id)
+        mesh = socket.mesh
+        candidates = mesh.slices_at_distance(self.core_id, self.target_hops)
+        if candidates:
+            self._target_slice = candidates[0]
+            return
+        # Some enabled tiles have no slice at the exact distance (e.g.
+        # a corner core surrounded by fused-off tiles, Figure 2); fall
+        # back to the nearest available distance and reflect the actual
+        # hop count in the profile.
+        best = min(
+            range(mesh.num_cores),
+            key=lambda s: (abs(mesh.hops(self.core_id, s)
+                               - self.target_hops),
+                           -mesh.hops(self.core_id, s)),
+        )
+        self._target_slice = best
+        actual = mesh.hops(self.core_id, best)
+        self.profile = replace(self.profile, mean_hops=float(actual))
+
+    def on_start(self) -> None:
+        self.apply_profile(self.profile, self._target_slice)
+
+
+class PhasedWorkload(Workload):
+    """A workload replaying a fixed schedule of profile phases.
+
+    ``phases`` is a list of ``(duration_ns, profile)`` pairs (optionally
+    with a target slice as a third element).  With ``repeat=True`` the
+    schedule loops until stopped; otherwise the workload goes idle after
+    the last phase.
+    """
+
+    def __init__(self, name: str, phases: list[tuple], *,
+                 repeat: bool = False, domain: int = 0) -> None:
+        super().__init__(name, domain)
+        if not phases:
+            raise PlacementError(f"{self.name}: needs at least one phase")
+        self.phases = phases
+        self.repeat = repeat
+        self._index = 0
+        self._pending: Event | None = None
+        self.completed = False
+
+    def on_start(self) -> None:
+        self._index = 0
+        self.completed = False
+        self._enter_phase()
+
+    def on_stop(self) -> None:
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def _enter_phase(self) -> None:
+        if not self.running or self.system is None:
+            return
+        if self._index >= len(self.phases):
+            if not self.repeat:
+                self.completed = True
+                self.apply_profile(IDLE)
+                return
+            self._index = 0
+        entry = self.phases[self._index]
+        duration_ns, profile = entry[0], entry[1]
+        target_slice = entry[2] if len(entry) > 2 else None
+        self.apply_profile(profile, target_slice)
+        self._index += 1
+        self._pending = self.system.engine.schedule(int(duration_ns),
+                                                    self._enter_phase)

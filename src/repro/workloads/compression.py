@@ -1,0 +1,55 @@
+"""The file-compression victim of the Figure 11 side channel.
+
+The victim runs a Python compression job whose total execution time is
+proportional to the input file size.  While the job runs the victim's
+core is active with moderate cache traffic; before and after, the core
+is idle.  The attacker recovers the busy duration from the uncore
+frequency trace (the frequency leaves ``freq_max`` while the victim is
+active, because the victim's activity dilutes the attacker's stalled
+fraction below 1/3 — Section 5's methodology) and hence the file size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cpu.activity import ActivityProfile
+from ..units import ms
+from .base import PhasedWorkload
+
+#: Compression throughput: execution milliseconds per megabyte.
+MS_PER_MB = 170.0
+#: Relative jitter of the execution time between runs.
+DURATION_JITTER = 0.015
+
+#: Cache traffic of the compression job — enough to be clearly active,
+#: light enough that it adds no uncore demand of its own.
+COMPRESSION_PROFILE = ActivityProfile(
+    active=True, llc_rate_per_us=12.0, mean_hops=1.0, stall_ratio=0.25
+)
+
+
+def compression_duration_ns(file_size_kb: float,
+                            rng: np.random.Generator | None = None) -> int:
+    """Execution time of compressing ``file_size_kb`` kilobytes."""
+    base_ms = MS_PER_MB * file_size_kb / 1024.0
+    jitter = 1.0
+    if rng is not None:
+        jitter = 1.0 + rng.normal(0.0, DURATION_JITTER)
+    return ms(base_ms * max(jitter, 0.5))
+
+
+class CompressionVictim(PhasedWorkload):
+    """A victim that idles, compresses one file, then idles again."""
+
+    def __init__(self, name: str, file_size_kb: float, *,
+                 start_delay_ms: float = 100.0,
+                 rng: np.random.Generator | None = None,
+                 domain: int = 0) -> None:
+        self.file_size_kb = file_size_kb
+        self.work_ns = compression_duration_ns(file_size_kb, rng)
+        phases = [
+            (ms(start_delay_ms), ActivityProfile()),
+            (self.work_ns, COMPRESSION_PROFILE),
+        ]
+        super().__init__(name, phases, repeat=False, domain=domain)

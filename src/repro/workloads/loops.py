@@ -1,0 +1,110 @@
+"""The paper's microbenchmark loops as activity profiles.
+
+Calibration (Section 3.2, measured with perf on the real machine):
+
+* the **traffic loop** (Listing 1) streams eviction-list accesses with
+  enough memory-level parallelism that the core stalls only ~30 % of
+  cycles; one thread issues on the order of 160 LLC accesses/us — the
+  demand unit the Figure 3 bands are expressed in;
+* the **stalling loop** (Listing 2) pointer-chases through one eviction
+  list, serialising every load: ~77 % of cycles stall and the issue
+  rate collapses to roughly one access per LLC round trip (~30/us);
+* an **L2-resident pointer chase** stalls only 14 % of cycles and never
+  touches the uncore — it does *not* trigger UFS (Section 3.2);
+* the **nop loop** keeps the core in C0 with no memory activity at all.
+"""
+
+from __future__ import annotations
+
+from ..cpu.activity import ActivityProfile
+from ..errors import ConfigError
+from .base import SteadyWorkload
+
+#: LLC accesses per microsecond from one stalling (pointer-chase) loop:
+#: roughly one access per LLC round trip.
+STALLING_LOOP_RATE_PER_US = 27.0
+#: Measured stall ratio of the stalling loop (Section 3.2).
+STALLING_LOOP_STALL_RATIO = 0.77
+#: Measured stall ratio of the traffic loop (Section 3.2).
+TRAFFIC_LOOP_STALL_RATIO = 0.30
+#: Measured stall ratio of an L2-resident pointer chase (Section 3.2).
+L2_CHASE_STALL_RATIO = 0.14
+#: L2 accesses per microsecond of the L2-resident chase.
+L2_CHASE_RATE_PER_US = 150.0
+
+
+def traffic_profile(hops: int, rate_per_us: float = 160.0,
+                    scale: float = 1.0) -> ActivityProfile:
+    """Listing 1's traffic loop targeting a slice ``hops`` away."""
+    if hops < 0:
+        raise ConfigError("hop distance must be non-negative")
+    return ActivityProfile(
+        active=True,
+        llc_rate_per_us=rate_per_us * scale,
+        mean_hops=float(hops),
+        stall_ratio=TRAFFIC_LOOP_STALL_RATIO,
+    )
+
+
+def stalling_profile(hops: int = 0) -> ActivityProfile:
+    """Listing 2's pointer-chasing loop (stalls the core)."""
+    if hops < 0:
+        raise ConfigError("hop distance must be non-negative")
+    return ActivityProfile(
+        active=True,
+        llc_rate_per_us=STALLING_LOOP_RATE_PER_US,
+        mean_hops=float(hops),
+        stall_ratio=STALLING_LOOP_STALL_RATIO,
+    )
+
+
+def nop_profile() -> ActivityProfile:
+    """A busy-spin with no memory activity (keeps the core in C0)."""
+    return ActivityProfile(active=True)
+
+
+def l2_pointer_chase_profile() -> ActivityProfile:
+    """Pointer chasing that stays within the L2 (no uncore activity)."""
+    return ActivityProfile(
+        active=True,
+        l2_rate_per_us=L2_CHASE_RATE_PER_US,
+        stall_ratio=L2_CHASE_STALL_RATIO,
+    )
+
+
+class TrafficLoop(SteadyWorkload):
+    """A thread running the traffic loop against one LLC slice."""
+
+    def __init__(self, name: str, hops: int, *,
+                 rate_per_us: float = 160.0, domain: int = 0) -> None:
+        super().__init__(
+            name,
+            traffic_profile(hops, rate_per_us),
+            target_hops=hops,
+            domain=domain,
+        )
+        self.hops = hops
+
+
+class StallingLoop(SteadyWorkload):
+    """A thread running the pointer-chasing (stalling) loop."""
+
+    def __init__(self, name: str, hops: int = 0, domain: int = 0) -> None:
+        super().__init__(
+            name, stalling_profile(hops), target_hops=hops, domain=domain
+        )
+        self.hops = hops
+
+
+class NopLoop(SteadyWorkload):
+    """A busy but memory-silent thread."""
+
+    def __init__(self, name: str, domain: int = 0) -> None:
+        super().__init__(name, nop_profile(), domain=domain)
+
+
+class L2PointerChaseLoop(SteadyWorkload):
+    """Pointer chasing confined to the private L2."""
+
+    def __init__(self, name: str, domain: int = 0) -> None:
+        super().__init__(name, l2_pointer_chase_profile(), domain=domain)

@@ -1,0 +1,148 @@
+"""A ``stress-ng --cache N`` equivalent (Table 2 / Table 3 noise).
+
+Each stressor thread alternates between *heavy* phases — full-rate
+eviction-list traffic at a random hop distance, the kind of load that
+pins the uncore at or near the maximum frequency — and *quiet* phases
+with only light cache churn.  Phase durations are exponentially
+distributed, so with more threads the union of heavy phases covers an
+increasing fraction of time.  That is exactly the noise mechanism the
+paper describes: "the channel is affected by the phases where stress-ng
+keeps the uncore frequency at freq_max" (Section 4.3.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cpu.activity import ActivityProfile
+from ..engine import Event
+from .base import Workload
+from .loops import TRAFFIC_LOOP_STALL_RATIO
+
+#: Mean duration of a heavy phase (ns).
+HEAVY_PHASE_MEAN_NS = 90_000_000
+#: Mean duration of a quiet phase (ns).
+QUIET_PHASE_MEAN_NS = 330_000_000
+#: Quiet-phase LLC rate as a fraction of the full traffic-loop rate.
+QUIET_RATE_FRACTION = 0.05
+#: Heavy-phase LLC rate as a fraction of the full traffic-loop rate.
+#: stress-ng's cache stressor mixes reads, writes and flushes, so its
+#: sustained LLC pressure sits a little below a pure traffic loop's.
+HEAVY_RATE_FRACTION = 0.9
+#: Heavy phases walk buffers at nearby slices (the stressor does not
+#: deliberately maximise mesh distance the way Listing 1 does).
+HEAVY_MAX_HOPS = 2
+
+
+class StressNgCache(Workload):
+    """One cache-stressing thread with a seeded random phase schedule."""
+
+    def __init__(self, name: str, rng: np.random.Generator, *,
+                 rate_per_us: float = 160.0, domain: int = 0) -> None:
+        super().__init__(name, domain)
+        self.rng = rng
+        self.rate_per_us = rate_per_us
+        self._pending: Event | None = None
+        self._heavy = False
+        self.heavy_time_ns = 0
+        self._heavy_entered_ns: int | None = None
+
+    def on_start(self) -> None:
+        # Start in a quiet phase with a random partial duration so
+        # threads launched together immediately desynchronise.
+        self._heavy = False
+        self._apply_quiet()
+        initial = self.rng.exponential(QUIET_PHASE_MEAN_NS) * self.rng.random()
+        self._schedule_flip(int(initial) + 1)
+
+    def on_stop(self) -> None:
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        self._leave_heavy()
+
+    # -- phase machinery -----------------------------------------------------
+
+    def _schedule_flip(self, delay_ns: int) -> None:
+        self._pending = self.system.engine.schedule(delay_ns, self._flip)
+
+    def _flip(self) -> None:
+        if not self.running:
+            return
+        self._heavy = not self._heavy
+        if self._heavy:
+            self._apply_heavy()
+            duration = self.rng.exponential(HEAVY_PHASE_MEAN_NS)
+        else:
+            self._apply_quiet()
+            duration = self.rng.exponential(QUIET_PHASE_MEAN_NS)
+        self._schedule_flip(int(duration) + 1)
+
+    def _random_slice(self, max_hops: int = HEAVY_MAX_HOPS) -> tuple[int, int]:
+        """A random target slice within ``max_hops`` and its distance."""
+        socket = self.system.socket(self.socket_id)
+        hops = int(self.rng.integers(1, max_hops + 1))
+        for distance in range(hops, 0, -1):
+            candidates = socket.mesh.slices_at_distance(self.core_id,
+                                                        distance)
+            if candidates:
+                pick = candidates[int(self.rng.integers(len(candidates)))]
+                return pick, distance
+        return self.core_id, 0
+
+    def _apply_heavy(self) -> None:
+        target_slice, hops = self._random_slice()
+        profile = ActivityProfile(
+            active=True,
+            llc_rate_per_us=self.rate_per_us * HEAVY_RATE_FRACTION,
+            mean_hops=float(hops),
+            stall_ratio=TRAFFIC_LOOP_STALL_RATIO,
+        )
+        self.apply_profile(profile, target_slice)
+        self._heavy_entered_ns = self.system.engine.now
+
+    def _apply_quiet(self) -> None:
+        self._leave_heavy()
+        profile = ActivityProfile(
+            active=True,
+            llc_rate_per_us=self.rate_per_us * QUIET_RATE_FRACTION,
+            mean_hops=0.0,
+            stall_ratio=0.12,
+        )
+        self.apply_profile(profile, None)
+
+    def _leave_heavy(self) -> None:
+        if self._heavy_entered_ns is not None and self.system is not None:
+            self.heavy_time_ns += self.system.engine.now - (
+                self._heavy_entered_ns
+            )
+            self._heavy_entered_ns = None
+
+
+def launch_stressor_threads(system, count: int, *, socket_id: int = 0,
+                            avoid_cores: set[int] | None = None,
+                            seed_prefix: str = "stress-ng",
+                            domain: int = 0) -> list[StressNgCache]:
+    """Start ``count`` stressor threads on free cores of a socket.
+
+    Mirrors ``stress-ng --cache N`` running in the background of the
+    Table 2 experiment: threads land on cores not used by the channel.
+    """
+    avoid = avoid_cores if avoid_cores is not None else set()
+    socket = system.socket(socket_id)
+    free = [
+        core.core_id
+        for core in socket.cores
+        if core.owner is None and core.core_id not in avoid
+    ]
+    if len(free) < count:
+        raise ValueError(
+            f"not enough free cores for {count} stressor threads"
+        )
+    threads: list[StressNgCache] = []
+    for index in range(count):
+        rng = system.namer.rng(f"{seed_prefix}-{index}")
+        thread = StressNgCache(f"{seed_prefix}-{index}", rng, domain=domain)
+        system.launch(thread, socket_id, free[index])
+        threads.append(thread)
+    return threads

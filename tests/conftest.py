@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import default_platform_config, single_socket_config
+from repro.platform import System
+
+
+@pytest.fixture
+def system() -> System:
+    """A fresh dual-socket Table 1 platform."""
+    return System(seed=1234)
+
+
+@pytest.fixture
+def solo_system() -> System:
+    """A single-socket platform (cheaper for non-coupling tests)."""
+    return System(single_socket_config(), seed=1234)
+
+
+@pytest.fixture
+def platform_config():
+    """The default Table 1 configuration."""
+    return default_platform_config()

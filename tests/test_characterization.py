@@ -1,0 +1,227 @@
+"""Integration tests: the Section 3 UFS characterization.
+
+Each test reproduces (a slice of) one characterization figure and
+asserts the paper's qualitative findings — stabilised frequencies,
+step cadence, cross-socket lag — on the simulated platform.
+"""
+
+import numpy as np
+import pytest
+
+from repro.platform import System
+from repro.platform.tracing import frequency_trace, step_times_ms
+from repro.units import ms
+from repro.workloads import (
+    L2PointerChaseLoop,
+    NopLoop,
+    StallingLoop,
+    TrafficLoop,
+)
+
+
+def median_freq(system, socket_id=0, window_ms=200):
+    _, freqs = frequency_trace(
+        system.socket(socket_id).pmu.timeline,
+        system.now - ms(window_ms),
+        system.now,
+        ms(1),
+    )
+    return float(np.median(freqs))
+
+
+class TestFigure3:
+    """Median frequency vs thread count and LLC traffic type."""
+
+    @pytest.mark.parametrize("threads,hops,expected_ghz", [
+        (1, 0, 2.1),
+        (2, 0, 2.2),
+        (3, 0, 2.3),
+        (8, 0, 2.3),   # LLC demand saturates at 2.3 GHz
+        (1, 1, 2.2),
+        (7, 1, 2.4),   # interconnect traffic reaches the max
+        (1, 2, 2.3),
+        (2, 2, 2.4),
+        (1, 3, 2.4),   # one 3-hop thread alone saturates
+    ])
+    def test_traffic_matrix_cell(self, threads, hops, expected_ghz):
+        system = System(seed=0)
+        for index in range(threads):
+            system.launch(TrafficLoop(f"t{index}", hops=hops), 0, index)
+        system.run_ms(900)
+        assert median_freq(system) / 1000 == pytest.approx(
+            expected_ghz, abs=0.05
+        )
+        system.stop()
+
+    def test_l2_only_traffic_stays_at_idle_dither(self):
+        system = System(seed=0)
+        for index in range(4):
+            system.launch(L2PointerChaseLoop(f"l2-{index}"), 0, index)
+        system.run_ms(500)
+        assert median_freq(system) == pytest.approx(1500, abs=50)
+        system.stop()
+
+
+class TestFigure4:
+    """Stalled-core rule: > 1/3 of active cores stalled -> freq_max."""
+
+    @pytest.mark.parametrize("stalled,unstalled,pinned", [
+        (1, 0, True),
+        (1, 2, False),   # exactly 1/3: not triggered
+        (2, 3, True),    # 2/5 > 1/3
+        (2, 4, False),   # exactly 1/3
+        (3, 6, False),   # exactly 1/3
+        (3, 5, True),    # 3/8 > 1/3
+        (5, 9, True),
+        (5, 11, False),
+    ])
+    def test_stall_fraction_rule(self, stalled, unstalled, pinned):
+        system = System(seed=0)
+        core = 0
+        for index in range(stalled):
+            system.launch(StallingLoop(f"s{index}"), 0, core)
+            core += 1
+        for index in range(unstalled):
+            system.launch(NopLoop(f"n{index}"), 0, core)
+            core += 1
+        system.run_ms(400)
+        freq = median_freq(system)
+        if pinned:
+            assert freq == 2400
+        else:
+            assert freq <= 1800
+        system.stop()
+
+
+class TestFigure5and6:
+    """Step cadence: 100 MHz roughly every 10 ms, up and down."""
+
+    def test_ramp_up_cadence(self):
+        system = System(seed=0)
+        system.run_ms(55)  # settle into the idle dither
+        loop = StallingLoop("s")
+        system.launch(loop, 0, 0)
+        start = system.now
+        system.run_ms(160)
+        times, freqs = frequency_trace(
+            system.socket(0).pmu.timeline, start, system.now, ms(1)
+        )
+        changes = step_times_ms(times, freqs)
+        ups = [c for c in changes if c[2] > c[1]]
+        assert ups, "frequency never rose"
+        gaps = [b[0] - a[0] for a, b in zip(ups, ups[1:])]
+        # "approximately every 10 ms" (Figure 5's annotations span
+        # 9.3-10.4 ms).
+        assert all(9.0 <= gap <= 11.5 for gap in gaps)
+        assert freqs[-1] == 2400
+        system.stop()
+
+    def test_ramp_down_cadence(self):
+        system = System(seed=0)
+        loop = StallingLoop("s")
+        system.launch(loop, 0, 0)
+        system.run_ms(150)
+        system.terminate(loop)
+        start = system.now
+        system.run_ms(160)
+        times, freqs = frequency_trace(
+            system.socket(0).pmu.timeline, start, system.now, ms(1)
+        )
+        downs = [c for c in step_times_ms(times, freqs)
+                 if c[2] < c[1]]
+        gaps = [b[0] - a[0] for a, b in zip(downs, downs[1:])]
+        assert downs
+        assert all(9.0 <= gap <= 11.5 for gap in gaps[:8])
+        assert freqs[-1] in (1400, 1500)
+        system.stop()
+
+    def test_first_step_takes_slightly_over_10ms(self):
+        """Loop start is not aligned with the PMU periods, so the first
+        step lands 10-20 ms after the loop starts (Section 3.3)."""
+        system = System(seed=0)
+        system.run_ms(53)
+        loop = StallingLoop("s")
+        system.launch(loop, 0, 0)
+        start = system.now
+        system.run_ms(40)
+        times, freqs = frequency_trace(
+            system.socket(0).pmu.timeline, start, system.now,
+            200_000,
+        )
+        first_up = next(
+            c for c in step_times_ms(times, freqs) if c[2] > c[1]
+        )
+        assert 5.0 <= first_up[0] <= 20.5
+        system.stop()
+
+
+class TestFigure7:
+    """Cross-socket coupling: the follower lags and lands lower."""
+
+    def test_follower_stabilises_100mhz_below(self):
+        system = System(seed=0)
+        loop = StallingLoop("s")
+        system.launch(loop, 0, 0)
+        system.run_ms(250)
+        assert system.uncore_frequency_mhz(0) == 2400
+        assert system.uncore_frequency_mhz(1) == 2300
+        system.stop()
+
+    def test_follower_starts_about_one_period_later(self):
+        system = System(seed=0)
+        loop = StallingLoop("s")
+        system.launch(loop, 0, 0)
+        start = system.now
+        system.run_ms(200)
+        t0, f0 = frequency_trace(system.socket(0).pmu.timeline, start,
+                                 system.now, 200_000)
+        t1, f1 = frequency_trace(system.socket(1).pmu.timeline, start,
+                                 system.now, 200_000)
+        first0 = next(c for c in step_times_ms(t0, f0) if c[2] > c[1])
+        first1 = next(
+            c for c in step_times_ms(t1, f1) if c[2] > 1500
+        )
+        lag = first1[0] - first0[0]
+        assert 5.0 <= lag <= 30.0
+        system.stop()
+
+    def test_follower_tracks_partial_ramps(self):
+        """A leader stabilising below max still drags the follower."""
+        system = System(seed=0)
+        for index in range(3):
+            system.launch(TrafficLoop(f"t{index}", hops=0), 0, index)
+        system.run_ms(1200)
+        leader = system.uncore_frequency_mhz(0)
+        follower = system.uncore_frequency_mhz(1)
+        assert leader == 2300
+        assert follower == 2200
+        system.stop()
+
+    def test_direction_is_symmetric(self):
+        """Load on socket 1 drags socket 0 upward too."""
+        system = System(seed=0)
+        loop = StallingLoop("s")
+        system.launch(loop, 1, 0)
+        system.run_ms(250)
+        assert system.uncore_frequency_mhz(1) == 2400
+        assert system.uncore_frequency_mhz(0) == 2300
+        system.stop()
+
+
+class TestFigure8:
+    """LLC latency vs fixed uncore frequency, per hop distance."""
+
+    def test_latency_decreases_with_fixed_frequency(self):
+        from repro.defenses import apply_fixed_frequency
+
+        means = []
+        for freq in (1500, 1800, 2100, 2400):
+            system = System(seed=5)
+            apply_fixed_frequency(system, freq)
+            actor = system.create_actor("probe", 0, 8)
+            ev = actor.build_measurement_list(hops=1)
+            actor.warm_list(ev)
+            means.append(actor.measure_window(ev, ms(10)))
+            system.stop()
+        assert means == sorted(means, reverse=True)
+        assert means[0] - means[-1] > 15.0  # ~79 vs ~60 cycles

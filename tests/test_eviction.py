@@ -1,0 +1,142 @@
+"""Eviction-list construction (Section 3.1's EV lists)."""
+
+import pytest
+
+from repro.cache import CacheHierarchy, EvictionListBuilder, Level
+from repro.config import SOCKET0_ACTIVE_TILES, SocketConfig
+from repro.errors import MemoryError_
+from repro.mem import AddressSpace, PhysicalMemory
+
+
+@pytest.fixture
+def setup():
+    config = SocketConfig(socket_id=0, core_tiles=SOCKET0_ACTIVE_TILES)
+    hierarchy = CacheHierarchy(config)
+    memory = PhysicalMemory(8 << 30, 4096)
+    space = AddressSpace("attacker", memory)
+    return hierarchy, EvictionListBuilder(space, hierarchy), space
+
+
+class TestL2Lists:
+    def test_list_has_requested_size(self, setup):
+        _, builder, _ = setup
+        ev = builder.build_l2_list(slice_id=3, l2_set=17, count=20)
+        assert len(ev) == 20
+
+    def test_all_lines_share_l2_set(self, setup):
+        _, builder, _ = setup
+        ev = builder.build_l2_list(slice_id=3, l2_set=17, count=20)
+        assert all(line % 1024 == 17 for line in ev.lines)
+
+    def test_all_lines_share_slice(self, setup):
+        hierarchy, builder, _ = setup
+        ev = builder.build_l2_list(slice_id=3, l2_set=17, count=20)
+        assert all(
+            hierarchy.slice_hash.slice_of(line) == 3 for line in ev.lines
+        )
+
+    def test_addresses_translate_to_lines(self, setup):
+        _, builder, space = setup
+        ev = builder.build_l2_list(slice_id=1, l2_set=5, count=18)
+        for virtual, line in zip(ev.virtual_addresses, ev.lines):
+            assert space.translate(virtual) >> 6 == line
+
+    def test_lines_are_distinct(self, setup):
+        _, builder, _ = setup
+        ev = builder.build_l2_list(slice_id=0, l2_set=0, count=20)
+        assert len(set(ev.lines)) == 20
+
+
+class TestListing1Property:
+    def test_cycling_list_misses_l2_hits_llc(self, setup):
+        """The core Section 3.1 property: with W_L2 <= m <= W_L2+W_LLC,
+        cycling the list in fixed order always misses the L2 and hits
+        the LLC slice once warm."""
+        hierarchy, builder, space = setup
+        ev = builder.build_measurement_list(slice_id=2, count=20)
+        # Warm: two passes.
+        for _ in range(2):
+            for virtual in ev.virtual_addresses:
+                hierarchy.load(0, space.translate(virtual))
+        # Steady state: every access an LLC hit.
+        levels = [
+            hierarchy.load(0, space.translate(virtual)).level
+            for virtual in ev.virtual_addresses
+        ]
+        assert all(level is Level.LLC for level in levels)
+
+    def test_oversized_list_misses_llc_too(self, setup):
+        """An L2-congruent list spans two LLC sets (the set index has
+        one more bit than the L2's), so overflow needs
+        m > W_L2 + 2 * W_LLC = 38 lines: misses appear."""
+        hierarchy, builder, space = setup
+        ev = builder.build_l2_list(slice_id=2, l2_set=9, count=45)
+        for _ in range(2):
+            for virtual in ev.virtual_addresses:
+                hierarchy.load(0, space.translate(virtual))
+        levels = [
+            hierarchy.load(0, space.translate(virtual)).level
+            for virtual in ev.virtual_addresses
+        ]
+        assert any(level is Level.DRAM for level in levels)
+
+    def test_undersized_list_hits_l2(self, setup):
+        """m < W_L2 fits in the L2: all hits stay private."""
+        hierarchy, builder, space = setup
+        ev = builder.build_l2_list(slice_id=2, l2_set=11, count=10)
+        for _ in range(2):
+            for virtual in ev.virtual_addresses:
+                hierarchy.load(0, space.translate(virtual))
+        levels = [
+            hierarchy.load(0, space.translate(virtual)).level
+            for virtual in ev.virtual_addresses
+        ]
+        assert all(level in (Level.L1, Level.L2) for level in levels)
+
+
+class TestLlcSetLists:
+    def test_llc_congruence(self, setup):
+        _, builder, _ = setup
+        ev = builder.build_llc_set_list(slice_id=0, llc_set=40, count=24)
+        assert all(line % 2048 == 40 for line in ev.lines)
+
+    def test_llc_congruent_implies_l2_congruent(self, setup):
+        _, builder, _ = setup
+        ev = builder.build_llc_set_list(slice_id=0, llc_set=40, count=12)
+        assert len({line % 1024 for line in ev.lines}) == 1
+
+
+class TestGroupsAndWorkingSets:
+    def test_l2_set_group_ignores_slice(self, setup):
+        hierarchy, builder, _ = setup
+        ev = builder.build_l2_set_group(l2_set=7, count=40)
+        assert all(line % 1024 == 7 for line in ev.lines)
+        slices = {hierarchy.slice_hash.slice_of(l) for l in ev.lines}
+        assert len(slices) > 4
+        assert ev.slice_id == -1
+
+    def test_slice_working_set(self, setup):
+        hierarchy, builder, _ = setup
+        ev = builder.build_slice_working_set(slice_id=5, count=100)
+        assert all(
+            hierarchy.slice_hash.slice_of(l) == 5 for l in ev.lines
+        )
+
+
+class TestPartitionAndBudget:
+    def test_partitioned_builder_rejects_foreign_slice(self, setup):
+        hierarchy, _, space = setup
+        restricted = hierarchy.slice_hash.restricted((1, 3, 5))
+        builder = EvictionListBuilder(space, hierarchy,
+                                      slice_hash=restricted)
+        with pytest.raises(MemoryError_):
+            builder.build_measurement_list(slice_id=0)
+
+    def test_search_budget_enforced(self, setup):
+        hierarchy, _, space = setup
+        builder = EvictionListBuilder(space, hierarchy,
+                                      max_search_bytes=1 << 24)
+        # An impossible request (same L2 set AND slice needs far more
+        # than 16 MB of candidates for 5000 matches).
+        with pytest.raises(MemoryError_):
+            builder.build_l2_list(slice_id=0, l2_set=0, count=5000)

@@ -1,0 +1,72 @@
+"""Result export utilities."""
+
+import json
+
+import numpy as np
+
+from repro.analysis.export import (
+    capacity_sweep_to_csv,
+    comparison_to_csv,
+    results_to_json,
+    rows_to_csv,
+    trace_to_csv,
+)
+from repro.core.evaluation import CapacityPoint
+
+
+class TestCsv:
+    def test_trace_csv_shape(self):
+        text = trace_to_csv([0.0, 3.0, 6.0], [1500, 1600, 1700])
+        lines = text.strip().splitlines()
+        assert lines[0] == "time_ms,freq_mhz"
+        assert lines[1] == "0.000,1500"
+        assert len(lines) == 4
+
+    def test_trace_csv_accepts_numpy(self):
+        text = trace_to_csv(np.array([1.5]), np.array([2400]))
+        assert "1.500,2400" in text
+
+    def test_rows_csv(self):
+        text = rows_to_csv(["a", "b"], [[1, "x"], [2, "y"]])
+        assert text.strip().splitlines() == ["a,b", "1,x", "2,y"]
+
+    def test_capacity_sweep_csv(self):
+        points = [
+            CapacityPoint(21.0, 47.6, 0.01, 44.0, 100),
+            CapacityPoint(38.0, 26.3, 0.0, 26.3, 100),
+        ]
+        text = capacity_sweep_to_csv(points)
+        assert "interval_ms" in text
+        assert "21.0,47.6,0.01,44.0" in text
+
+    def test_comparison_csv(self):
+        from repro.channels.comparison import ComparisonCell
+
+        cells = [
+            ComparisonCell("Prime+Probe", "random_llc", False, 0.5),
+            ComparisonCell("UF-variation", "random_llc", True, 0.0),
+        ]
+        text = comparison_to_csv(cells)
+        assert "Prime+Probe,random_llc,False,0.5," in text
+
+
+class TestJson:
+    def test_dataclass_round_trip(self):
+        point = CapacityPoint(21.0, 47.6, 0.01, 44.0, 100)
+        data = json.loads(results_to_json(point))
+        assert data["interval_ms"] == 21.0
+        assert data["bits"] == 100
+
+    def test_nested_structures(self):
+        payload = {"sweep": [CapacityPoint(10.0, 100.0, 0.3, 11.9, 50)],
+                   "label": "cross-core"}
+        data = json.loads(results_to_json(payload))
+        assert data["sweep"][0]["capacity_bps"] == 11.9
+        assert data["label"] == "cross-core"
+
+    def test_numpy_values_serialised(self):
+        payload = {"mean": np.float64(1.5),
+                   "trace": np.array([1, 2, 3])}
+        data = json.loads(results_to_json(payload))
+        assert data["mean"] == 1.5
+        assert data["trace"] == [1, 2, 3]

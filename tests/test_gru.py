@@ -1,0 +1,101 @@
+"""The GRU classifier: gradient correctness and learning."""
+
+import numpy as np
+import pytest
+
+from repro.sidechannel.gru import GruClassifier
+from repro.sidechannel.rnn import RnnConfig
+
+
+def toy_problem(n_classes=4, n_per_class=6, steps=32, noise=0.05):
+    rng = np.random.default_rng(0)
+    prototypes = rng.random((n_classes, steps))
+    features, labels = [], []
+    for label in range(n_classes):
+        for _ in range(n_per_class):
+            features.append(prototypes[label]
+                            + rng.normal(0, noise, steps))
+            labels.append(label)
+    return np.array(features), np.array(labels)
+
+
+class TestGradients:
+    def test_bptt_matches_finite_differences(self):
+        """Full numeric gradient check over every parameter tensor."""
+        config = RnnConfig(input_dim=1, hidden_dim=4, num_classes=3,
+                           epochs=1, seed=0)
+        model = GruClassifier(config)
+        rng = np.random.default_rng(1)
+        x = rng.random((3, 5, 1))
+        y = np.array([0, 1, 2])
+
+        def loss():
+            probs = model.predict_scores(x)
+            return float(
+                -np.log(probs[np.arange(3), y] + 1e-12).sum() / 3
+            )
+
+        hiddens, gates, pooled, logits = model._forward(
+            model._as_batch(x)
+        )
+        probs = model._softmax(logits)
+        grads = model._backward(model._as_batch(x), y, hiddens, gates,
+                                pooled, probs)
+        eps = 1e-6
+        for name in model._GATE_PARAMS:
+            param = getattr(model, name)
+            flat_index = np.unravel_index(
+                param.size // 2, param.shape
+            )
+            original = param[flat_index]
+            param[flat_index] = original + eps
+            loss_plus = loss()
+            param[flat_index] = original - eps
+            loss_minus = loss()
+            param[flat_index] = original
+            numeric = (loss_plus - loss_minus) / (2 * eps)
+            analytic = grads[name][flat_index]
+            denominator = abs(numeric) + abs(analytic) + 1e-12
+            assert abs(numeric - analytic) / denominator < 1e-5, name
+
+
+class TestLearning:
+    def test_learns_toy_problem(self):
+        x, y = toy_problem()
+        model = GruClassifier(RnnConfig(
+            num_classes=4, hidden_dim=12, epochs=120, seed=0
+        ))
+        losses, accuracies = model.fit(x, y)
+        assert accuracies[-1] > 0.9
+        assert losses[-1] < losses[0]
+
+    def test_scores_are_probabilities(self):
+        x, y = toy_problem()
+        model = GruClassifier(RnnConfig(
+            num_classes=4, hidden_dim=8, epochs=5, seed=0
+        ))
+        model.fit(x, y)
+        scores = model.predict_scores(x[:4])
+        assert np.allclose(scores.sum(axis=1), 1.0)
+        assert (scores >= 0).all()
+
+    def test_bad_labels_rejected(self):
+        model = GruClassifier(RnnConfig(num_classes=2, epochs=1))
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((2, 8)), np.array([0, 7]))
+
+    def test_wrong_input_dim_rejected(self):
+        model = GruClassifier(RnnConfig(num_classes=2, input_dim=1,
+                                        epochs=1))
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((2, 8, 3)))
+
+    def test_deterministic_training(self):
+        x, y = toy_problem()
+        config = RnnConfig(num_classes=4, hidden_dim=8, epochs=10,
+                           seed=5)
+        a = GruClassifier(config)
+        b = GruClassifier(config)
+        a.fit(x, y)
+        b.fit(x, y)
+        assert np.array_equal(a.predict(x), b.predict(x))

@@ -1,0 +1,93 @@
+"""Huge-page allocation: physical contiguity and set control."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.mem import AddressSpace, PhysicalMemory
+
+HUGE = 2 * 1024 * 1024
+
+
+def make_space():
+    return AddressSpace("p", PhysicalMemory(1 << 28, 4096))
+
+
+class TestHugeAllocation:
+    def test_physical_contiguity_across_the_huge_page(self):
+        space = make_space()
+        allocation = space.allocate_huge(HUGE, HUGE)
+        base_phys = space.translate(allocation.virtual_base)
+        for offset in range(0, HUGE, 4096):
+            assert space.translate(
+                allocation.virtual_base + offset
+            ) == base_phys + offset
+
+    def test_virtual_base_aligned(self):
+        space = make_space()
+        allocation = space.allocate_huge(HUGE, HUGE)
+        assert allocation.virtual_base % HUGE == 0
+
+    def test_low_bits_match_physical(self):
+        # The property attackers exploit: virtual offset bits equal
+        # physical index bits across the huge page.
+        space = make_space()
+        allocation = space.allocate_huge(HUGE, HUGE)
+        for offset in (0, 64 * 17, 4096 * 33 + 128):
+            physical = space.translate(allocation.virtual_base + offset)
+            assert physical % HUGE == offset
+
+    def test_multiple_huge_pages(self):
+        space = make_space()
+        allocation = space.allocate_huge(3 * HUGE, HUGE)
+        assert allocation.size_bytes == 3 * HUGE
+        space.translate(allocation.virtual_end - 64)
+
+    def test_misaligned_huge_size_rejected(self):
+        space = make_space()
+        with pytest.raises(MemoryError_):
+            space.allocate_huge(HUGE, 5000)  # not a page multiple
+
+    def test_exhaustion_raises(self):
+        memory = PhysicalMemory(4 * HUGE, 4096)
+        space = AddressSpace("p", memory)
+        space.allocate_huge(4 * HUGE, HUGE)
+        with pytest.raises(MemoryError_):
+            space.allocate_huge(HUGE, HUGE)
+
+    def test_contiguous_api_direct(self):
+        memory = PhysicalMemory(1 << 20, 4096)
+        first = memory.allocate_contiguous(16)
+        second = memory.allocate_contiguous(16)
+        assert second >= first + 16
+
+    def test_contiguous_rejects_bad_args(self):
+        memory = PhysicalMemory(1 << 20, 4096)
+        with pytest.raises(MemoryError_):
+            memory.allocate_contiguous(0)
+        with pytest.raises(MemoryError_):
+            memory.allocate_contiguous(4, numa_node=1)
+
+
+class TestActorHugePages:
+    def test_actor_wrapper_uses_platform_size(self, solo_system):
+        actor = solo_system.create_actor("proc", 0, 4)
+        allocation = actor.allocate_huge(HUGE)
+        assert allocation.page_bytes == (
+            solo_system.config.huge_page_bytes
+        )
+
+    def test_huge_page_gives_set_control(self, solo_system):
+        """With a huge page, an attacker controls the full LLC set
+        index directly from virtual offsets — the shortcut prior
+        channels rely on and UF-variation does not need."""
+        actor = solo_system.create_actor("proc", 0, 4)
+        allocation = actor.allocate_huge(HUGE)
+        llc_sets = solo_system.config.sockets[0].llc_slice_config.num_sets
+        target_set = 123
+        lines = [
+            allocation.virtual_base + (target_set + k * llc_sets) * 64
+            for k in range(8)
+        ]
+        for virtual in lines:
+            physical = actor.space.translate(virtual)
+            assert (physical >> 6) % llc_sets == target_set

@@ -1,0 +1,79 @@
+"""The NIC / interrupt-timing substrate."""
+
+from repro.io import NetworkInterface
+from repro.platform import System
+from repro.workloads import NopLoop
+
+
+class TestPacketTiming:
+    def test_idle_platform_answers_slowly(self):
+        system = System(seed=2)
+        nic = NetworkInterface(system)
+        system.run_ms(10)  # everything descends into deep idle
+        timing = nic.ping()
+        # Deep core (100 us) + two deep packages (200 us each).
+        assert timing.wake_latency_ns > 300_000
+        assert timing.package_exit_ns == 400_000
+        system.stop()
+
+    def test_busy_core_answers_quickly(self):
+        system = System(seed=2)
+        loop = NopLoop("busy")
+        system.launch(loop, 0, 3)
+        system.run_ms(10)
+        nic = NetworkInterface(system)
+        timing = nic.ping()
+        # Socket 0 is in PC0; only socket 1's package depth remains.
+        assert timing.package_exit_ns <= 200_000
+        system.stop()
+
+    def test_wake_latency_is_t2_minus_t1(self):
+        system = System(seed=2)
+        nic = NetworkInterface(system)
+        timing = nic.ping()
+        assert timing.wake_latency_ns == (
+            timing.isr_start_ns - timing.arrival_ns
+        )
+        assert timing.wake_latency_ns > 0
+
+    def test_ping_advances_time(self):
+        system = System(seed=2)
+        nic = NetworkInterface(system)
+        before = system.now
+        nic.ping()
+        assert system.now > before
+
+    def test_packets_counted(self):
+        system = System(seed=2)
+        nic = NetworkInterface(system)
+        for _ in range(3):
+            nic.ping()
+        assert nic.packets_served == 3
+
+    def test_separation_between_idle_and_busy(self):
+        """The Uncore-idle channel's decodability: the idle/busy wake
+        latencies differ by far more than the NIC's noise."""
+        system = System(seed=2)
+        nic = NetworkInterface(system)
+        system.run_ms(10)
+        idle = nic.ping().wake_latency_ns
+
+        loop = NopLoop("busy")
+        system.launch(loop, 0, 3)
+        system.run_ms(10)
+        busy = nic.ping().wake_latency_ns
+        assert idle > busy * 1.5
+        system.stop()
+
+    def test_seeded_noise_reproducible(self):
+        import numpy as np
+
+        def run():
+            system = System(seed=2)
+            nic = NetworkInterface(
+                system, rng=np.random.default_rng(77)
+            )
+            system.run_ms(5)
+            return nic.ping().wake_latency_ns
+
+        assert run() == run()

@@ -1,0 +1,91 @@
+"""The Figure 12 hotcrp panel: login success vs failure.
+
+The attacker distinguishes a successful login (long dashboard-render
+burst train after the submit) from a failed one (short error blip) in
+the uncore frequency trace.
+"""
+
+import numpy as np
+import pytest
+
+from repro.platform import System
+from repro.sidechannel import (
+    FrequencyTraceCollector,
+    KnnClassifier,
+    UfsAttacker,
+)
+from repro.sidechannel.features import trace_features
+from repro.sidechannel.tracer import active_duration_ms
+from repro.workloads import BrowserVictim, WebsiteLibrary
+from repro.workloads.browser import login_variant
+
+
+def collect_login_traces(outcomes, seed=31, trace_ms=6000.0):
+    system = System(seed=seed)
+    attacker = UfsAttacker(system)
+    attacker.settle()
+    collector = FrequencyTraceCollector(attacker)
+    library = WebsiteLibrary(4, seed=5, trace_ms=4000.0)
+    base = library.signature(0)  # "hotcrp.com"
+    traces = []
+    for index, success in enumerate(outcomes):
+        signature = login_variant(base, success)
+        victim = BrowserVictim(
+            f"login-{index}", signature,
+            system.namer.rng(f"login-{index}"),
+        )
+        system.launch(victim, 0, 5)
+        trace = collector.collect(trace_ms, label=int(success))
+        system.terminate(victim)
+        system.run_ms(80.0)
+        traces.append(trace)
+    attacker.shutdown()
+    system.stop()
+    return traces
+
+
+class TestLoginVariants:
+    def test_success_adds_long_burst_train(self):
+        library = WebsiteLibrary(2, seed=5)
+        base = library.signature(0)
+        success = login_variant(base, True)
+        failure = login_variant(base, False)
+        extra_success = len(success.bursts) - len(base.bursts)
+        extra_failure = len(failure.bursts) - len(base.bursts)
+        assert extra_success == 4
+        assert extra_failure == 1
+
+    def test_variants_share_the_pre_submit_prefix(self):
+        library = WebsiteLibrary(2, seed=5)
+        base = library.signature(0)
+        success = login_variant(base, True)
+        assert success.bursts[: len(base.bursts)] == base.bursts
+
+
+class TestLoginDistinction:
+    @pytest.fixture(scope="class")
+    def traces(self):
+        return collect_login_traces(
+            [True, False, True, False, True, False, True, False]
+        )
+
+    def test_busy_time_separates_outcomes(self, traces):
+        success_busy = [
+            active_duration_ms(t, 2330.0) for t in traces
+            if t.label == 1
+        ]
+        failure_busy = [
+            active_duration_ms(t, 2330.0) for t in traces
+            if t.label == 0
+        ]
+        assert min(success_busy) > max(failure_busy) + 300.0
+
+    def test_classifier_separates_outcomes(self, traces):
+        features = np.stack(
+            [trace_features(t, 96) for t in traces]
+        )
+        labels = np.array([t.label for t in traces])
+        knn = KnnClassifier(k=1, num_classes=2)
+        knn.fit(features[:4], labels[:4])
+        predictions = knn.predict(features[4:])
+        assert np.array_equal(predictions, labels[4:])

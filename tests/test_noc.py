@@ -1,0 +1,176 @@
+"""Interconnect models: mesh topology, ring, contention."""
+
+import pytest
+
+from repro.config import SOCKET0_ACTIVE_TILES, SocketConfig
+from repro.errors import ConfigError
+from repro.noc import (
+    ContentionTracker,
+    MeshTopology,
+    RingTopology,
+    TileKind,
+)
+
+
+@pytest.fixture
+def mesh() -> MeshTopology:
+    return MeshTopology(
+        SocketConfig(socket_id=0, core_tiles=SOCKET0_ACTIVE_TILES)
+    )
+
+
+class TestMeshLayout:
+    def test_sixteen_cores(self, mesh):
+        assert mesh.num_cores == 16
+
+    def test_imc_tiles_present(self, mesh):
+        assert mesh.tile((1, 0)).kind is TileKind.IMC
+        assert mesh.tile((1, 5)).kind is TileKind.IMC
+
+    def test_disabled_tiles_exist(self, mesh):
+        assert mesh.tile((0, 0)).kind is TileKind.DISABLED
+
+    def test_core_and_slice_share_tile(self, mesh):
+        for core_id in range(16):
+            assert mesh.core_coord(core_id) == mesh.slice_coord(core_id)
+
+    def test_unknown_core_rejected(self, mesh):
+        with pytest.raises(ConfigError):
+            mesh.core_coord(99)
+
+    def test_unknown_tile_rejected(self, mesh):
+        with pytest.raises(ConfigError):
+            mesh.tile((9, 9))
+
+
+class TestHops:
+    def test_figure8_distances(self, mesh):
+        """The exact distances of Figure 8: measuring core (3,3),
+        slices (3,3)/(2,3)/(2,2)/(2,1) at 0/1/2/3 hops."""
+        core = next(
+            i for i in range(16) if mesh.core_coord(i) == (3, 3)
+        )
+        for coord, hops in (((3, 3), 0), ((2, 3), 1), ((2, 2), 2),
+                            ((2, 1), 3)):
+            slice_id = mesh.tile(coord).core_id
+            assert mesh.hops(core, slice_id) == hops
+
+    def test_hops_symmetric(self, mesh):
+        for a in range(0, 16, 3):
+            for b in range(0, 16, 5):
+                assert mesh.hops(a, b) == mesh.hops(b, a)
+
+    def test_local_slice_zero_hops(self, mesh):
+        assert all(mesh.hops(i, i) == 0 for i in range(16))
+
+    def test_slices_at_distance_partition_all_slices(self, mesh):
+        core = 5
+        found = set()
+        for hops in range(mesh.max_distance(core) + 1):
+            found |= set(mesh.slices_at_distance(core, hops))
+        assert found == set(range(16))
+
+
+class TestRouting:
+    def test_route_length_equals_manhattan(self, mesh):
+        route = mesh.route((0, 1), (3, 4))
+        assert len(route) == 6
+
+    def test_route_is_contiguous(self, mesh):
+        route = mesh.route((4, 1), (0, 5))
+        for (a, b), (c, _) in zip(route, route[1:]):
+            assert b == c
+
+    def test_route_row_first(self, mesh):
+        route = mesh.route((0, 1), (2, 3))
+        # XY: rows change before columns.
+        assert route[0] == ((0, 1), (1, 1))
+        assert route[-1] == ((2, 2), (2, 3))
+
+    def test_empty_route_same_tile(self, mesh):
+        assert mesh.route((2, 2), (2, 2)) == []
+
+    def test_core_slice_route_ends_with_ingress(self, mesh):
+        links = mesh.core_slice_route(0, 5)
+        assert links[-1] == ("ingress", mesh.slice_coord(5))
+
+    def test_same_slice_routes_share_ingress(self, mesh):
+        a = mesh.core_slice_route(0, 7)
+        b = mesh.core_slice_route(12, 7)
+        assert set(a) & set(b)
+
+
+class TestRing:
+    def test_distance_shorter_arc(self):
+        ring = RingTopology(16)
+        assert ring.distance(0, 4) == 4
+        assert ring.distance(0, 12) == 4
+        assert ring.distance(0, 8) == 8
+
+    def test_route_wraps(self):
+        ring = RingTopology(8)
+        assert ring.route(6, 1) == [(6, 7), (7, 0), (0, 1)]
+
+    def test_route_empty_for_self(self):
+        assert RingTopology(8).route(3, 3) == []
+
+    def test_overlap_detection(self):
+        ring = RingTopology(16)
+        assert ring.routes_overlap((0, 5), (2, 7))
+        assert not ring.routes_overlap((0, 3), (8, 11))
+
+    def test_invalid_stop_rejected(self):
+        with pytest.raises(ConfigError):
+            RingTopology(8).distance(0, 8)
+
+    def test_tiny_ring_rejected(self):
+        with pytest.raises(ConfigError):
+            RingTopology(1)
+
+
+class TestContention:
+    def test_competing_flow_visible_on_shared_link(self):
+        tracker = ContentionTracker()
+        tracker.add_flow(["a", "b"], rate_per_us=100.0)
+        assert tracker.link_load("a") == 100.0
+        assert tracker.link_load("c") == 0.0
+
+    def test_route_contention_takes_bottleneck(self):
+        tracker = ContentionTracker()
+        tracker.add_flow(["a"], 50.0)
+        tracker.add_flow(["b"], 120.0)
+        assert tracker.route_contention(["a", "b"]) == 120.0
+
+    def test_exclude_own_flow(self):
+        tracker = ContentionTracker()
+        mine = tracker.add_flow(["a"], 70.0)
+        assert tracker.link_load("a", exclude_flow=mine) == 0.0
+
+    def test_remove_flow(self):
+        tracker = ContentionTracker()
+        flow = tracker.add_flow(["a"], 70.0)
+        tracker.remove_flow(flow)
+        assert tracker.link_load("a") == 0.0
+        tracker.remove_flow(flow)  # idempotent
+
+    def test_update_rate(self):
+        tracker = ContentionTracker()
+        flow = tracker.add_flow(["a"], 70.0)
+        tracker.update_rate(flow, 10.0)
+        assert tracker.link_load("a") == 10.0
+
+    def test_tdm_hides_cross_domain_flows(self):
+        """The SurfNoC-style defense: cross-domain traffic never shares
+        a slot with the observer."""
+        tracker = ContentionTracker(time_multiplexed=True)
+        tracker.add_flow(["a"], 100.0, domain=0)
+        assert tracker.link_load("a", observer_domain=1) == 0.0
+        assert tracker.link_load("a", observer_domain=0) == 100.0
+
+    def test_without_tdm_domains_contend(self):
+        tracker = ContentionTracker(time_multiplexed=False)
+        tracker.add_flow(["a"], 100.0, domain=0)
+        assert tracker.link_load("a", observer_domain=1) == 100.0
+
+    def test_empty_route_no_contention(self):
+        assert ContentionTracker().route_contention([]) == 0.0

@@ -1,0 +1,108 @@
+"""Open-world fingerprinting: rejection thresholds and metrics."""
+
+import pytest
+
+from repro.sidechannel.openworld import (
+    UNMONITORED,
+    collect_open_world,
+    evaluate_open_world,
+)
+from repro.sidechannel.rnn import RnnConfig
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return collect_open_world(
+        monitored_sites=8, unmonitored_sites=8, trace_ms=3000, seed=6
+    )
+
+
+class TestCollection:
+    def test_training_set_is_monitored_only(self, dataset):
+        train, _ = dataset
+        assert all(trace.label != UNMONITORED for trace in train)
+        assert len({t.label for t in train}) == 8
+
+    def test_test_set_is_mixed(self, dataset):
+        _, test = dataset
+        labels = [t.label for t in test]
+        assert UNMONITORED in labels
+        assert any(label != UNMONITORED for label in labels)
+
+    def test_counts(self, dataset):
+        train, test = dataset
+        assert len(train) == 8 * 3
+        assert len(test) == 8 * 2 + 8 * 2
+
+
+class TestEvaluation:
+    def test_detection_beats_chance(self, dataset):
+        train, test = dataset
+        result = evaluate_open_world(
+            train, test,
+            rnn_config=RnnConfig(num_classes=8, epochs=400, seed=6),
+        )
+        assert result.true_positive_rate > 0.5
+        assert result.false_positive_rate < 0.6
+        assert result.true_positive_rate > result.false_positive_rate
+
+    def test_stricter_threshold_lowers_fpr(self, dataset):
+        train, test = dataset
+        config = RnnConfig(num_classes=8, epochs=300, seed=6)
+        lax = evaluate_open_world(train, test, rnn_config=config,
+                                  threshold_quantile=0.0)
+        strict = evaluate_open_world(train, test, rnn_config=config,
+                                     threshold_quantile=0.6)
+        assert strict.false_positive_rate <= lax.false_positive_rate
+        assert strict.rejection_threshold >= lax.rejection_threshold
+
+    def test_counts_reported(self, dataset):
+        train, test = dataset
+        result = evaluate_open_world(
+            train, test,
+            rnn_config=RnnConfig(num_classes=8, epochs=100, seed=6),
+        )
+        assert result.monitored_traces == 16
+        assert result.unmonitored_traces == 16
+
+
+class TestSparklines:
+    def test_sparkline_range(self):
+        from repro.analysis.sparkline import sparkline
+
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 4
+
+    def test_flat_series(self):
+        from repro.analysis.sparkline import sparkline
+
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty_series(self):
+        from repro.analysis.sparkline import sparkline
+
+        assert sparkline([]) == ""
+
+    def test_pinned_scale(self):
+        from repro.analysis.sparkline import sparkline
+
+        line = sparkline([1800], lo=1200, hi=2400)
+        assert line in ("▄", "▅")  # mid-scale block
+
+    def test_frequency_sparkline_pools_long_traces(self):
+        from repro.analysis.sparkline import frequency_sparkline
+
+        trace = [1500] * 500 + [2400] * 500
+        line = frequency_sparkline(trace, max_width=10)
+        assert len(line) == 10
+        assert line[0] == "▃"  # 1500 on the 1200-2400 scale
+        assert line[-1] == "█"
+
+    def test_labelled_trace(self):
+        from repro.analysis.sparkline import labelled_trace
+
+        text = labelled_trace("socket 0", [1500, 2400])
+        assert text.startswith("socket 0")
+        assert "[1.5-2.4 GHz]" in text

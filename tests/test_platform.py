@@ -1,0 +1,309 @@
+"""Platform assembly: latency model, system wiring, actor facade."""
+
+import numpy as np
+import pytest
+
+from repro.cache.hierarchy import Level
+from repro.config import LatencyModelConfig
+from repro.cpu.msr import MSR_UCLK_FIXED_CTR, MSR_UNCORE_RATIO_LIMIT
+from repro.errors import ConfigError, PrerequisiteError, PrivilegeError
+from repro.platform import LatencyModel, SecurityConfig, System
+from repro.platform.tracing import frequency_trace, step_times_ms
+from repro.units import ms, us
+from repro.workloads import StallingLoop
+
+
+@pytest.fixture
+def model() -> LatencyModel:
+    return LatencyModel(LatencyModelConfig(), np.random.default_rng(0))
+
+
+class TestLatencyModel:
+    def test_figure9_anchor_points(self, model):
+        """1-hop latencies: 79 cycles at 1.5 GHz, 63 at 2.2 GHz."""
+        assert model.mean_llc_cycles(1, 1500) == pytest.approx(79.0,
+                                                               abs=0.5)
+        assert model.mean_llc_cycles(1, 2200) == pytest.approx(63.0,
+                                                               abs=0.5)
+
+    def test_latency_monotone_decreasing_in_frequency(self, model):
+        latencies = [
+            model.mean_llc_cycles(1, f) for f in range(1500, 2401, 100)
+        ]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_latency_monotone_increasing_in_hops(self, model):
+        latencies = [model.mean_llc_cycles(h, 2000) for h in range(4)]
+        assert latencies == sorted(latencies)
+
+    def test_figure8_range_50_to_100_cycles(self, model):
+        """All (hop, frequency) combinations span the 50-100 cycle
+        window of Figure 8."""
+        for hops in range(4):
+            for freq in range(1500, 2401, 100):
+                latency = model.mean_llc_cycles(hops, freq)
+                assert 50.0 < latency < 100.0
+
+    def test_level_ordering(self, model):
+        l1 = model.mean_cycles(Level.L1, 0, 2000)
+        l2 = model.mean_cycles(Level.L2, 0, 2000)
+        llc = model.mean_cycles(Level.LLC, 1, 2000)
+        remote = model.mean_cycles(Level.REMOTE_CACHE, 1, 2000)
+        dram = model.mean_cycles(Level.DRAM, 1, 2000)
+        assert l1 < l2 < llc < remote < dram
+
+    def test_contention_adds_latency(self, model):
+        quiet = model.mean_cycles(Level.LLC, 2, 2000)
+        contended = model.mean_cycles(Level.LLC, 2, 2000,
+                                      contention_flows=1.0)
+        assert contended > quiet + 3.0
+
+    def test_frequency_inversion_round_trip(self, model):
+        for freq in (1500, 1800, 2100, 2400):
+            latency = model.mean_llc_cycles(1, freq)
+            recovered = model.frequency_from_latency(latency, 1)
+            assert recovered == pytest.approx(freq, rel=0.001)
+
+    def test_sampling_is_noisy_but_unbiased(self, model):
+        samples = model.sample_many(4000, Level.LLC, 1, 2000)
+        mean = model.mean_llc_cycles(1, 2000)
+        assert abs(float(samples.mean()) - mean) < 1.0
+        assert float(samples.std()) > 0.5
+
+    def test_noise_has_right_tail(self, model):
+        samples = model.sample_many(20_000, Level.LLC, 1, 2000)
+        mean = model.mean_llc_cycles(1, 2000)
+        p99 = float(np.percentile(samples, 99))
+        p1 = float(np.percentile(samples, 1))
+        assert p99 - mean > mean - p1  # skewed right
+
+    def test_loop_iteration_time_includes_fences(self, model):
+        iteration = model.loop_iteration_ns(70.0, 2600)
+        assert iteration > 70.0 * 1000 / 2600
+
+
+class TestSystem:
+    def test_socket_accessors(self, system):
+        assert system.num_sockets == 2
+        assert system.socket(1).socket_id == 1
+        with pytest.raises(ConfigError):
+            system.socket(2)
+
+    def test_time_advances(self, system):
+        system.run_ms(5)
+        assert system.now == ms(5)
+
+    def test_msr_requires_privilege(self, system):
+        with pytest.raises(PrivilegeError):
+            system.read_msr(0, MSR_UNCORE_RATIO_LIMIT)
+
+    def test_uclk_counter_tracks_frequency(self, system):
+        first = system.read_msr(0, MSR_UCLK_FIXED_CTR, privileged=True)
+        system.run_ms(1)
+        second = system.read_msr(0, MSR_UCLK_FIXED_CTR, privileged=True)
+        # ~1.4-1.5 GHz for 1 ms is ~1.45M ticks.
+        assert 1_300_000 < second - first < 1_600_000
+
+    def test_measure_frequency_via_msr(self, system):
+        measured = system.measure_frequency_via_msr(0)
+        assert measured == pytest.approx(1500, abs=110)
+
+    def test_ratio_limit_write_reaches_pmu(self, system):
+        from repro.cpu.msr import encode_uncore_ratio_limit
+
+        system.write_msr(
+            0, MSR_UNCORE_RATIO_LIMIT,
+            encode_uncore_ratio_limit(1600, 1600), privileged=True,
+        )
+        assert not system.socket(0).pmu.ufs_enabled
+        assert system.uncore_frequency_mhz(0) == 1600
+
+    def test_seeded_systems_reproduce(self):
+        def run(seed):
+            system = System(seed=seed)
+            loop = StallingLoop("s")
+            system.launch(loop, 0, 0)
+            system.run_ms(77)
+            freq = system.uncore_frequency_mhz(0)
+            system.stop()
+            return freq
+
+        assert run(42) == run(42)
+
+    def test_stop_halts_pmus(self, system):
+        system.stop()
+        before = system.uncore_frequency_mhz(0)
+        system.run_ms(50)
+        assert system.uncore_frequency_mhz(0) == before
+
+
+class TestSecurityWiring:
+    def test_fine_partition_splits_slices(self):
+        system = System(
+            security=SecurityConfig(fine_partition=True, num_domains=2),
+            seed=0,
+        )
+        hash0 = system.domain_slice_hash(0, 0)
+        hash1 = system.domain_slice_hash(0, 1)
+        assert not set(hash0.allowed_slices) & set(hash1.allowed_slices)
+        assert (
+            set(hash0.allowed_slices) | set(hash1.allowed_slices)
+            == set(range(16))
+        )
+
+    def test_fine_partition_enables_tdm(self):
+        system = System(
+            security=SecurityConfig(fine_partition=True), seed=0
+        )
+        assert system.socket(0).contention.time_multiplexed
+
+    def test_no_partition_full_hash(self, system):
+        assert system.domain_slice_hash(0, 0).allowed_slices == tuple(
+            range(16)
+        )
+
+    def test_unknown_domain_rejected(self):
+        system = System(
+            security=SecurityConfig(fine_partition=True, num_domains=2),
+            seed=0,
+        )
+        with pytest.raises(ConfigError):
+            system.domain_slice_hash(0, 5)
+
+    def test_randomized_llc_uses_keyed_indexers(self):
+        plain = System(seed=3)
+        randomized = System(
+            security=SecurityConfig(randomize_llc=True), seed=3
+        )
+        line = 0x123456
+        plain_set = plain.socket(0).hierarchy.llc_slice(0).set_index(line)
+        random_set = randomized.socket(0).hierarchy.llc_slice(
+            0
+        ).set_index(line)
+        # With 2048 sets, agreeing by chance is unlikely; check several.
+        agreements = sum(
+            1
+            for l in range(line, line + 64)
+            if plain.socket(0).hierarchy.llc_slice(0).set_index(l)
+            == randomized.socket(0).hierarchy.llc_slice(0).set_index(l)
+        )
+        assert agreements < 8
+
+    def test_coarse_partition_numa_strict_spaces(self):
+        system = System(
+            security=SecurityConfig(coarse_partition=True), seed=0
+        )
+        space = system.create_address_space("p", numa_node=0)
+        assert space.numa_strict
+
+
+class TestActor:
+    def test_actor_claims_core(self, system):
+        actor = system.create_actor("proc", 0, 4)
+        assert system.socket(0).core(4).owner == "proc"
+        actor.retire()
+        assert system.socket(0).core(4).owner is None
+
+    def test_timed_load_advances_time(self, system):
+        actor = system.create_actor("proc", 0, 4)
+        allocation = actor.allocate(4096)
+        before = system.now
+        actor.timed_load(allocation.virtual_base)
+        assert system.now > before
+
+    def test_timed_load_levels_progress(self, system):
+        actor = system.create_actor("proc", 0, 4)
+        allocation = actor.allocate(4096)
+        first = actor.timed_load(allocation.virtual_base)
+        second = actor.timed_load(allocation.virtual_base)
+        assert first.level is Level.DRAM
+        assert second.level is Level.L1
+        assert second.latency_cycles < first.latency_cycles
+
+    def test_clflush_gated_by_platform(self, platform_config):
+        import dataclasses
+
+        config = dataclasses.replace(platform_config,
+                                     clflush_available=False)
+        system = System(config, seed=0)
+        actor = system.create_actor("proc", 0, 4)
+        allocation = actor.allocate(4096)
+        with pytest.raises(PrerequisiteError):
+            actor.clflush(allocation.virtual_base)
+
+    def test_tsx_gated_by_platform(self, platform_config):
+        import dataclasses
+
+        config = dataclasses.replace(platform_config,
+                                     tsx_available=False)
+        system = System(config, seed=0)
+        actor = system.create_actor("proc", 0, 4)
+        with pytest.raises(PrerequisiteError):
+            actor.begin_transaction([])
+
+    def test_shared_memory_gated_by_platform(self, platform_config):
+        import dataclasses
+
+        config = dataclasses.replace(platform_config,
+                                     shared_memory_available=False)
+        system = System(config, seed=0)
+        actor = system.create_actor("proc", 0, 4)
+        with pytest.raises(PrerequisiteError):
+            actor.share_segment(4096)
+
+    def test_measurement_list_cycles_in_llc(self, system):
+        actor = system.create_actor("proc", 0, 4)
+        ev = actor.build_measurement_list(hops=1)
+        actor.warm_list(ev)
+        records = actor.load_series(list(ev.virtual_addresses))
+        assert all(r.level is Level.LLC for r in records)
+
+    def test_measure_window_reflects_frequency(self, system):
+        actor = system.create_actor("probe", 0, 4)
+        ev = actor.build_measurement_list(hops=1)
+        actor.warm_list(ev)
+        slow = actor.measure_window(ev, us(500))
+        loop = StallingLoop("drive")
+        system.launch(loop, 0, 0)
+        system.run_ms(120)  # ramp to freq_max
+        fast = actor.measure_window(ev, us(500))
+        assert slow - fast > 10.0  # ~79 -> ~60 cycles
+
+    def test_probe_frequency_estimate(self, system):
+        actor = system.create_actor("probe", 0, 4)
+        ev = actor.build_measurement_list(hops=1)
+        actor.warm_list(ev)
+        estimate = actor.probe_frequency_mhz(ev, samples=64)
+        assert estimate == pytest.approx(
+            system.uncore_frequency_mhz(0), rel=0.05
+        )
+
+    def test_local_slice_is_zero_hops(self, system):
+        actor = system.create_actor("proc", 0, 4)
+        assert system.socket(0).hops(4, actor.local_slice()) == 0
+
+
+class TestTracing:
+    def test_trace_axes(self, system):
+        loop = StallingLoop("s")
+        system.launch(loop, 0, 0)
+        start = system.now
+        system.run_ms(50)
+        times, freqs = frequency_trace(
+            system.socket(0).pmu.timeline, start, system.now, ms(5)
+        )
+        assert len(times) == len(freqs) == 10
+        assert times[0] == 0.0
+        assert times[-1] == pytest.approx(45.0)
+
+    def test_step_times_detect_changes(self, system):
+        loop = StallingLoop("s")
+        system.launch(loop, 0, 0)
+        start = system.now
+        system.run_ms(80)
+        times, freqs = frequency_trace(
+            system.socket(0).pmu.timeline, start, system.now, ms(1)
+        )
+        changes = step_times_ms(times, freqs)
+        assert changes
+        assert all(to - frm == 100 for _, frm, to in changes[1:])

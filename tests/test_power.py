@@ -1,0 +1,340 @@
+"""Power management: frequency timeline, UFS control law, PC-states,
+energy accounting."""
+
+import pytest
+
+from repro.config import (
+    CStateConfig,
+    DemandModelConfig,
+    EnergyModelConfig,
+    UfsConfig,
+)
+from repro.cpu import ActivityProfile, Core, IDLE
+from repro.engine import Engine
+from repro.errors import ConfigError, SimulationError
+from repro.power import (
+    DemandModel,
+    EnergyMeter,
+    FrequencyTimeline,
+    PackageCStateManager,
+    UfsPmu,
+)
+from repro.units import ms
+from repro.workloads.loops import stalling_profile, traffic_profile
+
+
+class TestFrequencyTimeline:
+    def test_initial_frequency(self):
+        timeline = FrequencyTimeline(1500)
+        assert timeline.current_mhz == 1500
+        assert timeline.frequency_at(10**9) == 1500
+
+    def test_change_visible_after_time(self):
+        timeline = FrequencyTimeline(1500)
+        timeline.set_frequency(100, 1600)
+        assert timeline.frequency_at(99) == 1500
+        assert timeline.frequency_at(100) == 1600
+
+    def test_same_frequency_is_not_a_change(self):
+        timeline = FrequencyTimeline(1500)
+        timeline.set_frequency(100, 1500)
+        assert timeline.change_count == 0
+
+    def test_backwards_change_rejected(self):
+        timeline = FrequencyTimeline(1500)
+        timeline.set_frequency(100, 1600)
+        with pytest.raises(SimulationError):
+            timeline.set_frequency(50, 1700)
+
+    def test_uclk_ticks_integrate_frequency(self):
+        timeline = FrequencyTimeline(1000)  # 1000 MHz = 1 tick/ns
+        timeline.set_frequency(1_000, 2000)
+        # 1000 ns at 1 GHz + 1000 ns at 2 GHz = 1000 + 2000 cycles.
+        assert timeline.uclk_ticks(2_000) == 3_000
+
+    def test_average_mhz(self):
+        timeline = FrequencyTimeline(1000)
+        timeline.set_frequency(500, 2000)
+        assert timeline.average_mhz(0, 1000) == pytest.approx(1500.0)
+
+    def test_average_of_flat_segment(self):
+        timeline = FrequencyTimeline(2400)
+        assert timeline.average_mhz(100, 300) == pytest.approx(2400.0)
+
+    def test_samples_cadence(self):
+        timeline = FrequencyTimeline(1500)
+        timeline.set_frequency(50, 1600)
+        samples = timeline.samples(0, 100, 25)
+        assert samples == [(0, 1500), (25, 1500), (50, 1600), (75, 1600)]
+
+    def test_segments_cover_window(self):
+        timeline = FrequencyTimeline(1500)
+        timeline.set_frequency(100, 1600)
+        timeline.set_frequency(200, 1700)
+        segments = timeline.segments(50, 250)
+        assert segments == [
+            (50, 100, 1500), (100, 200, 1600), (200, 250, 1700)
+        ]
+
+    def test_empty_window_average_rejected(self):
+        with pytest.raises(SimulationError):
+            FrequencyTimeline(1500).average_mhz(10, 10)
+
+
+class TestDemandModel:
+    @pytest.fixture
+    def model(self) -> DemandModel:
+        return DemandModel(DemandModelConfig())
+
+    def test_no_demand_means_idle(self, model):
+        assert model.target(0.0, 0.0) is None
+
+    def test_one_traffic_thread_targets_2100(self, model):
+        assert model.target(160.0, 0.0) == 2100
+
+    def test_llc_saturates_at_2300(self, model):
+        # "Without any traffic on the interconnect, the frequency can
+        # only go up to 2.3 GHz" (Section 3.1).
+        assert model.target(16 * 160.0, 0.0) == 2300
+
+    def test_one_3hop_thread_reaches_max(self, model):
+        assert model.target(160.0, 160.0 * 9) == 2400
+
+    def test_one_1hop_thread_targets_2200(self, model):
+        assert model.target(160.0, 160.0) == 2200
+
+    def test_light_measurement_loop_no_demand(self, model):
+        # The receiver's fenced loop must not raise the frequency
+        # (Section 4.2).
+        assert model.target(18.0, 18.0) is None
+
+    def test_stalled_pointer_chasers_hit_1800_band(self, model):
+        assert model.target(2 * 27.0, 0.0) == 1800
+
+
+def _stepper(engine: Engine, cores: list[Core], **kwargs) -> UfsPmu:
+    return UfsPmu(
+        socket_id=0,
+        engine=engine,
+        cores=cores,
+        ufs_config=UfsConfig(),
+        demand_config=DemandModelConfig(),
+        **kwargs,
+    )
+
+
+class TestUfsPmu:
+    def _make(self, n_cores=4):
+        engine = Engine()
+        cores = [
+            Core(i, 0, (0, i % 5), base_freq_mhz=2600)
+            for i in range(n_cores)
+        ]
+        return engine, cores, _stepper(engine, cores)
+
+    def test_starts_at_active_idle_high(self):
+        _, _, pmu = self._make()
+        assert pmu.current_mhz == 1500
+
+    def test_idle_dither_between_1400_and_1500(self):
+        engine, _, pmu = self._make()
+        seen = set()
+        for _ in range(12):
+            engine.run_for(ms(10))
+            seen.add(pmu.current_mhz)
+        assert seen == {1400, 1500}
+
+    def test_stall_ramps_100mhz_per_period(self):
+        engine, cores, pmu = self._make()
+        cores[0].set_profile(0, stalling_profile())
+        trace = []
+        for _ in range(12):
+            engine.run_for(ms(10))
+            trace.append(pmu.current_mhz)
+        diffs = [b - a for a, b in zip(trace, trace[1:]) if b != a]
+        assert all(d == 100 for d in diffs)
+        assert trace[-1] == 2400
+
+    def test_stall_release_ramps_down(self):
+        engine, cores, pmu = self._make()
+        cores[0].set_profile(0, stalling_profile())
+        engine.run_for(ms(120))
+        assert pmu.current_mhz == 2400
+        cores[0].set_profile(engine.now, IDLE)
+        engine.run_for(ms(40))
+        assert pmu.current_mhz < 2400
+        engine.run_for(ms(120))
+        assert pmu.current_mhz in (1400, 1500)
+
+    def test_light_demand_steps_slowly(self):
+        # One 0-hop traffic thread: target 2.1 GHz, but > 50 ms per
+        # step (Section 4.3.1).
+        engine, cores, pmu = self._make()
+        cores[0].set_profile(0, traffic_profile(hops=0))
+        engine.run_for(ms(55))
+        assert pmu.current_mhz <= 1700
+        engine.run_for(ms(500))
+        assert pmu.current_mhz == 2100
+
+    def test_stalled_fraction_boundary(self):
+        # Exactly 1/3 stalled does NOT trigger the max (Figure 4).
+        engine, cores, pmu = self._make(n_cores=6)
+        cores[0].set_profile(0, stalling_profile())
+        cores[1].set_profile(0, stalling_profile())
+        for i in (2, 3, 4, 5):
+            cores[i].set_profile(0, ActivityProfile(active=True))
+        engine.run_for(ms(300))
+        assert pmu.current_mhz < 2400
+
+    def test_over_one_third_stalled_pins_max(self):
+        engine, cores, pmu = self._make(n_cores=5)
+        cores[0].set_profile(0, stalling_profile())
+        cores[1].set_profile(0, stalling_profile())
+        for i in (2, 3, 4):
+            cores[i].set_profile(0, ActivityProfile(active=True))
+        engine.run_for(ms(200))
+        assert pmu.current_mhz == 2400
+
+    def test_limits_clamp_frequency(self):
+        engine, cores, pmu = self._make()
+        pmu.set_limits(1500, 1700)
+        cores[0].set_profile(0, stalling_profile())
+        engine.run_for(ms(200))
+        assert pmu.current_mhz == 1700
+
+    def test_min_equals_max_disables_ufs(self):
+        engine, cores, pmu = self._make()
+        pmu.set_limits(1800, 1800)
+        assert not pmu.ufs_enabled
+        cores[0].set_profile(0, stalling_profile())
+        engine.run_for(ms(200))
+        assert pmu.current_mhz == 1800
+
+    def test_inverted_limits_rejected(self):
+        _, _, pmu = self._make()
+        with pytest.raises(ConfigError):
+            pmu.set_limits(2400, 1200)
+
+    def test_limit_change_snaps_current_frequency(self):
+        engine, cores, pmu = self._make()
+        cores[0].set_profile(0, stalling_profile())
+        engine.run_for(ms(150))
+        pmu.set_limits(1500, 1700)
+        assert pmu.current_mhz == 1700
+
+    def test_snapshots_recorded_when_enabled(self):
+        engine, cores, pmu = self._make()
+        pmu.keep_snapshots = True
+        cores[0].set_profile(0, stalling_profile())
+        engine.run_for(ms(30))
+        assert len(pmu.snapshots) == 3
+        assert pmu.snapshots[-1].stall_rule_triggered
+
+    def test_stop_halts_evaluation(self):
+        engine, cores, pmu = self._make()
+        pmu.stop()
+        cores[0].set_profile(0, stalling_profile())
+        engine.run_for(ms(100))
+        assert pmu.current_mhz == 1500
+        assert pmu.next_evaluation_ns() is None
+
+
+class TestCrossSocketCoupling:
+    def test_follower_trails_by_one_step(self):
+        engine = Engine()
+        cores0 = [Core(0, 0, (0, 1), 2600)]
+        cores1 = [Core(0, 1, (0, 1), 2600)]
+        pmu0 = _stepper(engine, cores0)
+        pmu1 = UfsPmu(
+            socket_id=1, engine=engine, cores=cores1,
+            ufs_config=UfsConfig(), demand_config=DemandModelConfig(),
+            phase_ns=ms(10) + 500_000,
+            remote_frequency=lambda: pmu0.current_mhz,
+        )
+        cores0[0].set_profile(0, stalling_profile())
+        engine.run_for(ms(200))
+        # Figure 7: the follower stabilises 100 MHz below the leader.
+        assert pmu0.current_mhz == 2400
+        assert pmu1.current_mhz == 2300
+
+    def test_follower_does_not_couple_to_idle(self):
+        engine = Engine()
+        cores0 = [Core(0, 0, (0, 1), 2600)]
+        cores1 = [Core(0, 1, (0, 1), 2600)]
+        pmu0 = _stepper(engine, cores0)
+        pmu1 = UfsPmu(
+            socket_id=1, engine=engine, cores=cores1,
+            ufs_config=UfsConfig(), demand_config=DemandModelConfig(),
+            phase_ns=ms(10) + 500_000,
+            remote_frequency=lambda: pmu0.current_mhz,
+        )
+        engine.run_for(ms(100))
+        assert pmu1.current_mhz in (1400, 1500)
+
+
+class TestPackageCStates:
+    def _manager(self):
+        cores = [Core(i, 0, (0, 1), 2600) for i in range(2)]
+        return cores, PackageCStateManager(cores, CStateConfig())
+
+    def test_active_core_pins_pc0(self):
+        cores, manager = self._manager()
+        cores[0].set_profile(0, ActivityProfile(active=True))
+        assert manager.pc_state(10**9) == 0
+        assert manager.uncore_exit_latency_ns(10**9) == 0
+
+    def test_all_idle_deepens_package_state(self):
+        _, manager = self._manager()
+        assert manager.pc_state(10**10) == 3
+
+    def test_pc_state_bounded_by_shallowest_core(self):
+        cores, manager = self._manager()
+        cores[0].set_profile(0, ActivityProfile(active=True))
+        cores[0].set_profile(10**6, IDLE)
+        # Core 0 idle only briefly: shallow; package follows it.
+        time_ns = 10**6 + 25_000
+        assert manager.pc_state(time_ns) == min(
+            manager.core_c_state(cores[0], time_ns),
+            manager.core_c_state(cores[1], time_ns),
+        )
+
+    def test_wake_latency_sums_core_and_package(self):
+        cores, manager = self._manager()
+        config = CStateConfig()
+        latency = manager.wake_latency_ns(10**10, cores[0])
+        assert latency == (
+            config.core_exit_latency_ns[3]
+            + config.package_exit_latency_ns[3]
+        )
+
+
+class TestEnergyMeter:
+    def test_energy_integrates_power_over_segments(self):
+        meter = EnergyMeter(EnergyModelConfig())
+        timeline = FrequencyTimeline(2400)
+        joules = meter.energy_joules(timeline, 0, 10**9)
+        expected = EnergyModelConfig().power_watts(2400) * 1.0
+        assert joules == pytest.approx(expected)
+
+    def test_lower_frequency_costs_less(self):
+        meter = EnergyMeter(EnergyModelConfig())
+        low = FrequencyTimeline(1500)
+        high = FrequencyTimeline(2400)
+        assert meter.energy_joules(low, 0, 10**9) < meter.energy_joules(
+            high, 0, 10**9
+        )
+
+    def test_average_power(self):
+        meter = EnergyMeter(EnergyModelConfig())
+        timeline = FrequencyTimeline(1800)
+        watts = meter.average_power_watts(timeline, 0, 5 * 10**8)
+        assert watts == pytest.approx(
+            EnergyModelConfig().power_watts(1800)
+        )
+
+    def test_energy_at_fixed(self):
+        meter = EnergyMeter(EnergyModelConfig())
+        timeline = FrequencyTimeline(2000)
+        assert meter.energy_at_fixed(2000, 10**9) == pytest.approx(
+            meter.energy_joules(timeline, 0, 10**9)
+        )

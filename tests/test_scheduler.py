@@ -1,0 +1,172 @@
+"""The time-sliced scheduler and channel behaviour under it."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.os import TimeSliceScheduler
+from repro.platform import System
+from repro.units import ms
+from repro.workloads import NopLoop, PhasedWorkload, TrafficLoop
+
+
+class TestScheduling:
+    def test_places_workloads_on_pool_cores(self, solo_system):
+        scheduler = TimeSliceScheduler(
+            solo_system, core_pool=[4, 5], quantum_ms=2.0,
+        )
+        a, b = NopLoop("a"), NopLoop("b")
+        scheduler.manage(a)
+        scheduler.manage(b)
+        scheduler.start()
+        assert {a.core_id, b.core_id} == {4, 5}
+        scheduler.stop()
+
+    def test_oversubscription_time_shares(self, solo_system):
+        scheduler = TimeSliceScheduler(
+            solo_system, core_pool=[4], quantum_ms=2.0,
+        )
+        loops = [NopLoop(f"n{i}") for i in range(3)]
+        for loop in loops:
+            scheduler.manage(loop)
+        scheduler.start()
+        ran = set()
+        for _ in range(9):
+            ran.update(scheduler.running_workloads)
+            solo_system.run_ms(2)
+        assert ran == {"n0", "n1", "n2"}
+        assert scheduler.preemptions > 0
+        scheduler.stop()
+
+    def test_only_one_runs_per_core(self, solo_system):
+        scheduler = TimeSliceScheduler(
+            solo_system, core_pool=[4], quantum_ms=2.0,
+        )
+        for i in range(3):
+            scheduler.manage(NopLoop(f"n{i}"))
+        scheduler.start()
+        for _ in range(6):
+            assert len(scheduler.running_workloads) == 1
+            solo_system.run_ms(2)
+        scheduler.stop()
+
+    def test_migrations_happen(self, solo_system):
+        scheduler = TimeSliceScheduler(
+            solo_system, core_pool=[4, 5, 6], quantum_ms=1.0,
+            migrate_prob=1.0,
+        )
+        loop = TrafficLoop("t", hops=1)
+        scheduler.manage(loop)
+        scheduler.start()
+        cores_seen = set()
+        for _ in range(12):
+            cores_seen.add(loop.core_id)
+            solo_system.run_ms(1)
+        assert len(cores_seen) > 1
+        assert scheduler.migrations > 0
+        scheduler.stop()
+
+    def test_stop_parks_everything(self, solo_system):
+        scheduler = TimeSliceScheduler(solo_system, core_pool=[4],
+                                       quantum_ms=2.0)
+        loop = NopLoop("n")
+        scheduler.manage(loop)
+        scheduler.start()
+        scheduler.stop()
+        assert loop.system is None
+        assert solo_system.socket(0).core(4).owner is None
+
+    def test_phased_workload_rejected(self, solo_system):
+        scheduler = TimeSliceScheduler(solo_system, core_pool=[4],
+                                       quantum_ms=2.0)
+        from repro.cpu.activity import ActivityProfile
+
+        phased = PhasedWorkload(
+            "p", [(ms(1), ActivityProfile(active=True))]
+        )
+        with pytest.raises(PlacementError):
+            scheduler.manage(phased)
+
+    def test_already_placed_workload_rejected(self, solo_system):
+        scheduler = TimeSliceScheduler(solo_system, core_pool=[4],
+                                       quantum_ms=2.0)
+        loop = NopLoop("n")
+        solo_system.launch(loop, 0, 5)
+        with pytest.raises(PlacementError):
+            scheduler.manage(loop)
+
+    def test_empty_pool_rejected(self, solo_system):
+        for core in solo_system.socket(0).cores:
+            core.claim("x")
+        with pytest.raises(PlacementError):
+            TimeSliceScheduler(solo_system)
+
+    def test_double_start_rejected(self, solo_system):
+        scheduler = TimeSliceScheduler(solo_system, core_pool=[4],
+                                       quantum_ms=2.0)
+        scheduler.start()
+        with pytest.raises(PlacementError):
+            scheduler.start()
+        scheduler.stop()
+
+
+class TestChannelUnderScheduling:
+    def test_uf_variation_survives_scheduled_background(self):
+        """Unpinned background threads migrating across cores do not
+        break UF-variation: the stall rule is core-agnostic, so it
+        does not matter *where* the sender's stalls or the background
+        activity land."""
+        from repro.core import ChannelConfig, UFVariationChannel
+        from repro.core.evaluation import random_bits
+
+        system = System(seed=19)
+        scheduler = TimeSliceScheduler(
+            system, core_pool=[10, 11, 12], quantum_ms=4.0,
+            migrate_prob=0.5,
+        )
+        for index in range(3):
+            scheduler.manage(NopLoop(f"bg-{index}"))
+        scheduler.start()
+        channel = UFVariationChannel(
+            system,
+            config=ChannelConfig(interval_ns=ms(45)),
+            sender_cores=(0, 1, 2, 3, 4, 5),  # keep > 1/3 stalled
+        )
+        result = channel.transmit(random_bits(24, 19))
+        assert result.error_rate < 0.2
+        channel.shutdown()
+        scheduler.stop()
+        system.stop()
+
+
+class TestTurboPStates:
+    def test_turbo_core_pins_uncore_at_max(self, solo_system):
+        core = solo_system.socket(0).core(0)
+        core.claim("turbo")
+        core.set_p_state(3200)
+        from repro.cpu.activity import ActivityProfile
+
+        core.set_profile(solo_system.now, ActivityProfile(active=True))
+        solo_system.run_ms(150)
+        # Section 2.2.1: any core above base -> UFS disabled, uncore
+        # at the window maximum.
+        assert solo_system.uncore_frequency_mhz(0) == 2400
+
+    def test_idle_turbo_core_does_not_pin(self, solo_system):
+        core = solo_system.socket(0).core(0)
+        core.claim("turbo")
+        core.set_p_state(3200)  # turbo P-state but never active
+        solo_system.run_ms(100)
+        assert solo_system.uncore_frequency_mhz(0) <= 1500
+
+    def test_p_state_validation(self, solo_system):
+        core = solo_system.socket(0).core(0)
+        with pytest.raises(PlacementError):
+            core.set_p_state(2650)
+        with pytest.raises(PlacementError):
+            core.set_p_state(0)
+
+    def test_above_base_flag(self, solo_system):
+        core = solo_system.socket(0).core(0)
+        assert not core.above_base
+        core.set_p_state(2700)
+        assert core.above_base

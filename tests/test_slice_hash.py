@@ -1,0 +1,75 @@
+"""The LLC slice hash: determinism, uniformity, restriction."""
+
+import numpy as np
+import pytest
+
+from repro.cache import SliceHash
+
+
+class TestSliceHash:
+    def test_deterministic(self):
+        hash_fn = SliceHash(16)
+        assert hash_fn.slice_of(0xABC123) == hash_fn.slice_of(0xABC123)
+
+    def test_output_in_range(self):
+        hash_fn = SliceHash(16)
+        for line in range(0, 100_000, 997):
+            assert 0 <= hash_fn.slice_of(line) < 16
+
+    def test_roughly_uniform_distribution(self):
+        hash_fn = SliceHash(16)
+        lines = np.arange(16_000, dtype=np.uint64)
+        slices = hash_fn.slice_of_array(lines)
+        counts = np.bincount(slices, minlength=16)
+        # Each slice should get ~1000 lines; allow generous slack.
+        assert counts.min() > 700
+        assert counts.max() < 1300
+
+    def test_vectorised_matches_scalar(self):
+        hash_fn = SliceHash(16)
+        lines = np.arange(500, 900, dtype=np.uint64)
+        vector = hash_fn.slice_of_array(lines)
+        scalar = [hash_fn.slice_of(int(line)) for line in lines]
+        assert list(vector) == scalar
+
+    def test_adjacent_lines_spread(self):
+        # Consecutive cache lines should not all land on one slice.
+        hash_fn = SliceHash(16)
+        slices = {hash_fn.slice_of(line) for line in range(64)}
+        assert len(slices) >= 8
+
+    def test_non_power_of_two_slice_count(self):
+        hash_fn = SliceHash(12)
+        lines = np.arange(12_000, dtype=np.uint64)
+        counts = np.bincount(hash_fn.slice_of_array(lines), minlength=12)
+        assert counts.min() > 600
+
+    def test_zero_slices_rejected(self):
+        with pytest.raises(ValueError):
+            SliceHash(0)
+
+
+class TestRestriction:
+    def test_restricted_hash_only_emits_allowed(self):
+        full = SliceHash(16)
+        restricted = full.restricted((0, 2, 4, 6, 8, 10, 12, 14))
+        lines = np.arange(4_000, dtype=np.uint64)
+        slices = set(restricted.slice_of_array(lines))
+        assert slices <= {0, 2, 4, 6, 8, 10, 12, 14}
+
+    def test_restriction_still_uniform(self):
+        restricted = SliceHash(16).restricted(tuple(range(0, 16, 2)))
+        lines = np.arange(8_000, dtype=np.uint64)
+        slices = restricted.slice_of_array(lines)
+        counts = np.bincount(slices, minlength=16)
+        assert all(counts[odd] == 0 for odd in range(1, 16, 2))
+        assert counts[::2].min() > 700
+
+    def test_out_of_range_allowed_rejected(self):
+        with pytest.raises(ValueError):
+            SliceHash(16, allowed_slices=(0, 16))
+
+    def test_restriction_preserves_num_slices(self):
+        restricted = SliceHash(16).restricted((1, 3))
+        assert restricted.num_slices == 16
+        assert restricted.allowed_slices == (1, 3)

@@ -1,0 +1,135 @@
+"""UFS control-law edge cases: limit interactions, coupling corners."""
+
+from repro.config import DemandModelConfig, UfsConfig
+from repro.cpu import Core, IDLE
+from repro.engine import Engine
+from repro.platform import System
+from repro.units import ms
+from repro.workloads import StallingLoop, TrafficLoop
+from repro.workloads.loops import stalling_profile
+
+
+def make_pmu(engine, cores, **ufs_kwargs):
+    from repro.power import UfsPmu
+
+    return UfsPmu(
+        socket_id=0,
+        engine=engine,
+        cores=cores,
+        ufs_config=UfsConfig(**ufs_kwargs),
+        demand_config=DemandModelConfig(),
+    )
+
+
+class TestLimitInteractions:
+    def test_raised_minimum_floors_the_idle_dither(self):
+        engine = Engine()
+        cores = [Core(0, 0, (0, 1), 2600)]
+        pmu = make_pmu(engine, cores, min_freq_mhz=1700)
+        engine.run_for(ms(100))
+        # The idle dither targets 1.4/1.5 GHz but the MSR floor wins.
+        assert pmu.current_mhz == 1700
+
+    def test_lowered_maximum_caps_the_stall_rule(self):
+        engine = Engine()
+        cores = [Core(0, 0, (0, 1), 2600)]
+        pmu = make_pmu(engine, cores)
+        pmu.set_limits(1200, 2000)
+        cores[0].set_profile(0, stalling_profile())
+        engine.run_for(ms(200))
+        assert pmu.current_mhz == 2000
+
+    def test_widening_limits_reenables_scaling(self):
+        engine = Engine()
+        cores = [Core(0, 0, (0, 1), 2600)]
+        pmu = make_pmu(engine, cores)
+        pmu.set_limits(1800, 1800)
+        cores[0].set_profile(0, stalling_profile())
+        engine.run_for(ms(100))
+        assert pmu.current_mhz == 1800
+        pmu.set_limits(1200, 2400)
+        engine.run_for(ms(150))
+        assert pmu.current_mhz == 2400
+
+    def test_window_entirely_above_idle_band(self):
+        # Limits 2000-2400: idle target clamps to the window floor.
+        engine = Engine()
+        cores = [Core(0, 0, (0, 1), 2600)]
+        pmu = make_pmu(engine, cores, min_freq_mhz=2000)
+        cores[0].set_profile(0, stalling_profile())
+        engine.run_for(ms(200))
+        assert pmu.current_mhz == 2400
+        cores[0].set_profile(engine.now, IDLE)
+        engine.run_for(ms(200))
+        assert pmu.current_mhz == 2000
+
+
+class TestCouplingCorners:
+    def test_restricted_follower_clamps_coupled_target(self):
+        """The follower honours its own MSR window even when the
+        leader runs faster."""
+        system = System(seed=0)
+        from repro.defenses import apply_restricted_range
+
+        apply_restricted_range(system, 1500, 1900, socket_id=1)
+        loop = StallingLoop("s")
+        system.launch(loop, 0, 0)
+        system.run_ms(300)
+        assert system.uncore_frequency_mhz(0) == 2400
+        assert system.uncore_frequency_mhz(1) == 1900
+        system.stop()
+
+    def test_coupling_decays_when_leader_stops(self):
+        system = System(seed=0)
+        loop = StallingLoop("s")
+        system.launch(loop, 0, 0)
+        system.run_ms(250)
+        assert system.uncore_frequency_mhz(1) == 2300
+        system.terminate(loop)
+        system.run_ms(300)
+        assert system.uncore_frequency_mhz(1) in (1400, 1500)
+        system.stop()
+
+    def test_both_sockets_loaded_no_runaway(self):
+        """Mutual coupling must not amplify: with both sockets under
+        light demand, neither exceeds its own demand target by more
+        than the coupling lag."""
+        system = System(seed=0)
+        system.launch(TrafficLoop("a", hops=0), 0, 0)
+        system.launch(TrafficLoop("b", hops=0), 1, 0)
+        system.run_ms(1500)
+        # One 0-hop thread targets 2.1 GHz on each socket.
+        assert system.uncore_frequency_mhz(0) <= 2100
+        assert system.uncore_frequency_mhz(1) <= 2100
+        system.stop()
+
+
+class TestTurboInteraction:
+    def test_turbo_beats_fixed_low_demand(self, solo_system):
+        from repro.cpu.activity import ActivityProfile
+
+        core = solo_system.socket(0).core(0)
+        core.claim("turbo")
+        core.set_p_state(3000)
+        core.set_profile(solo_system.now,
+                         ActivityProfile(active=True))
+        solo_system.run_ms(200)
+        assert solo_system.uncore_frequency_mhz(0) == 2400
+        # Dropping back to base frequency re-enables UFS decay.
+        core.set_p_state(2600)
+        core.set_profile(solo_system.now, IDLE)
+        solo_system.run_ms(200)
+        assert solo_system.uncore_frequency_mhz(0) in (1400, 1500)
+
+    def test_turbo_respects_msr_window(self, solo_system):
+        from repro.cpu.activity import ActivityProfile
+        from repro.defenses import apply_restricted_range
+
+        apply_restricted_range(solo_system, 1500, 1800)
+        core = solo_system.socket(0).core(0)
+        core.claim("turbo")
+        core.set_p_state(3000)
+        core.set_profile(solo_system.now,
+                         ActivityProfile(active=True))
+        solo_system.run_ms(200)
+        assert solo_system.uncore_frequency_mhz(0) == 1800

@@ -1,0 +1,59 @@
+"""Unit conversions: time and frequency."""
+
+import pytest
+
+from repro import units
+
+
+def test_time_constants_scale():
+    assert units.US == 1_000
+    assert units.MS == 1_000_000
+    assert units.SECOND == 1_000_000_000
+
+
+def test_ms_round_trips():
+    assert units.to_ms(units.ms(21)) == pytest.approx(21.0)
+
+
+def test_us_round_trips():
+    assert units.to_us(units.us(5)) == pytest.approx(5.0)
+
+
+def test_seconds_round_trips():
+    assert units.to_seconds(units.seconds(2.5)) == pytest.approx(2.5)
+
+
+def test_fractional_ms_rounds_to_integer_ns():
+    assert units.ms(0.0000006) == 1  # 0.6 ns rounds up
+    assert isinstance(units.ms(1.5), int)
+
+
+def test_ghz_to_mhz():
+    assert units.ghz(2.4) == 2400
+
+
+def test_mhz_to_ghz():
+    assert units.mhz_to_ghz(1500) == pytest.approx(1.5)
+
+
+def test_cycles_to_ns_at_1ghz():
+    assert units.cycles_to_ns(100, 1000) == pytest.approx(100.0)
+
+
+def test_cycles_to_ns_at_2ghz_halves():
+    assert units.cycles_to_ns(100, 2000) == pytest.approx(50.0)
+
+
+def test_ns_to_cycles_inverts_cycles_to_ns():
+    ns = units.cycles_to_ns(123.0, 2600)
+    assert units.ns_to_cycles(ns, 2600) == pytest.approx(123.0)
+
+
+def test_cycles_to_ns_rejects_zero_frequency():
+    with pytest.raises(ValueError):
+        units.cycles_to_ns(10, 0)
+
+
+def test_cycles_to_ns_rejects_negative_frequency():
+    with pytest.raises(ValueError):
+        units.cycles_to_ns(10, -100)

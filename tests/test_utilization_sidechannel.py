@@ -1,0 +1,79 @@
+"""The utilization-based side channel (the paper's 'other factor')."""
+
+import numpy as np
+import pytest
+
+from repro.platform import System
+from repro.sidechannel.tracer import TraceRecord
+from repro.sidechannel.utilization import (
+    MediaEncoderVictim,
+    UtilizationAttacker,
+    detect_bursts,
+    memory_burst_profile,
+    profile_victim,
+)
+
+
+class TestDetection:
+    def _trace(self, freqs):
+        return TraceRecord(
+            label=0,
+            times_ms=np.arange(len(freqs), dtype=float) * 3.0,
+            freqs_mhz=np.array(freqs, dtype=float),
+        )
+
+    def test_counts_distinct_bursts(self):
+        low, high = [1500.0] * 6, [2300.0] * 5
+        trace = self._trace(low + high + low + high + low)
+        estimate = detect_bursts(trace)
+        assert estimate.burst_count == 2
+        assert estimate.mean_burst_ms == pytest.approx(15.0)
+
+    def test_short_spikes_ignored(self):
+        trace = self._trace([1500.0] * 5 + [2300.0] + [1500.0] * 5)
+        assert detect_bursts(trace).burst_count == 0
+
+    def test_flat_trace_no_bursts(self):
+        trace = self._trace([1500.0] * 30)
+        assert detect_bursts(trace).burst_count == 0
+
+
+class TestAttack:
+    def test_probe_only_attacker_leaves_uncore_idle(self):
+        system = System(seed=3)
+        attacker = UtilizationAttacker(system)
+        attacker.settle()
+        assert system.uncore_frequency_mhz(0) <= 1500
+        attacker.shutdown()
+        system.stop()
+
+    def test_memory_burst_raises_frequency(self):
+        system = System(seed=3)
+        attacker = UtilizationAttacker(system)
+        attacker.settle()
+        actor = system.create_actor("victim", 0, 5)
+        actor.set_profile(memory_burst_profile())
+        system.run_ms(150)
+        assert system.uncore_frequency_mhz(0) == 2400
+        actor.retire()
+        attacker.shutdown()
+        system.stop()
+
+    @pytest.mark.parametrize("frames", [2, 4, 7])
+    def test_frame_count_recovered(self, frames):
+        estimate = profile_victim(frames=frames, seed=3)
+        assert estimate.burst_count == frames
+
+    def test_phase_durations_roughly_recovered(self):
+        estimate = profile_victim(frames=5, scan_ms=80.0,
+                                  encode_ms=120.0, seed=4)
+        assert estimate.burst_count == 5
+        # Bursts and gaps track the true durations up to the UFS ramp
+        # overhead (the threshold crossing lags phase edges by ~40 ms
+        # in each direction).
+        assert 20.0 < estimate.mean_burst_ms < 150.0
+        assert 30.0 < estimate.mean_gap_ms < 180.0
+
+    def test_victim_schedule_structure(self):
+        victim = MediaEncoderVictim("v", frames=3)
+        assert len(victim.phases) == 6
