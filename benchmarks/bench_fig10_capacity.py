@@ -8,6 +8,7 @@ the error rate is near zero and capacity tracks the raw rate.
 """
 
 from repro.analysis import format_table
+from repro.config import RunnerConfig
 from repro.core.evaluation import capacity_sweep, peak_capacity
 
 from _harness import report, run_once
@@ -17,11 +18,14 @@ INTERVALS_MS = (60.0, 45.0, 38.0, 33.0, 28.0, 24.0, 21.0, 18.0,
 
 
 def _sweep(cross_processor: bool, bits: int):
+    # REPRO_WORKERS fans the sweep points across processes; the
+    # resulting points are bit-identical at every worker count.
     return capacity_sweep(
         intervals_ms=INTERVALS_MS,
         bits=bits,
         cross_processor=cross_processor,
         seed=3,
+        workers=RunnerConfig.from_env().workers,
     )
 
 

@@ -7,7 +7,11 @@ regressions are.  Unlike the experiment benches these use real
 multi-round timing.
 """
 
-from repro.engine import Engine
+import time
+
+from _harness import report
+
+from repro.engine import Engine, PeriodicTask
 from repro.platform import System
 from repro.units import ms, us
 
@@ -28,6 +32,71 @@ def test_perf_engine_event_throughput(benchmark):
         return count
 
     assert benchmark(spin) == 10_000
+
+
+def test_perf_engine_cancel_churn(benchmark):
+    """Throughput with heavy cancellation: schedule two timers per tick
+    and cancel one, so tombstones accumulate and the heap's
+    auto-compaction path is exercised."""
+
+    def churn():
+        engine = Engine()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 5_000:
+                engine.schedule(10, tick)
+                engine.schedule(20, lambda: None).cancel()
+
+        engine.schedule(10, tick)
+        engine.run()
+        # Counter bookkeeping must survive the churn.
+        assert engine.pending == 0
+        return count
+
+    assert benchmark(churn) == 5_000
+
+
+def test_perf_periodic_fast_path(benchmark):
+    """Cost of a steady periodic tick (the PMU pattern): after the
+    first firing, rescheduling reuses the same Event handle."""
+
+    def tick_10k():
+        engine = Engine()
+        task = PeriodicTask(engine, 10, lambda: None)
+        engine.run_until(100_000)
+        task.stop()
+        return task.fire_count
+
+    assert benchmark(tick_10k) == 10_000
+
+
+def test_perf_parallel_capacity_scaling(benchmark):
+    """Serial vs multi-process wall time for a Figure 10 sweep slice.
+
+    Results must be bit-identical at every worker count; the timing
+    table records how the runner scales on this machine (on a
+    single-CPU box the parallel rows just pay fork overhead).
+    """
+    from repro.core.evaluation import capacity_sweep
+
+    kwargs = dict(intervals_ms=(60.0, 45.0, 38.0, 33.0), bits=12, seed=0)
+
+    def sweep_serial():
+        return capacity_sweep(**kwargs, workers=1)
+
+    serial = benchmark.pedantic(sweep_serial, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    lines = []
+    for workers in (1, 2, 4):
+        start = time.perf_counter()
+        points = capacity_sweep(**kwargs, workers=workers)
+        elapsed = time.perf_counter() - start
+        assert points == serial, f"workers={workers} diverged from serial"
+        lines.append(f"workers={workers}: {elapsed:6.2f} s  (bit-identical)")
+    report("perf_parallel_capacity_scaling", "\n".join(lines))
 
 
 def test_perf_simulated_second_idle(benchmark):

@@ -16,15 +16,20 @@ from _harness import report, run_once
 
 def test_table3_full_matrix(benchmark):
     def experiment():
-        return {
-            channel_cls.name: {
-                scenario.key: evaluate_channel(
-                    channel_cls, scenario, bits=20, seed=1
-                )
-                for scenario in SCENARIOS
-            }
-            for channel_cls in ALL_CHANNELS
-        }
+        # The whole matrix is a grid of independent seeded trials;
+        # REPRO_WORKERS > 1 evaluates cells in parallel processes with
+        # bit-identical cells.
+        from repro.channels.comparison import comparison_matrix
+        from repro.config import RunnerConfig
+
+        cells = comparison_matrix(
+            bits=20, seed=1,
+            workers=RunnerConfig.from_env().workers,
+        )
+        matrix = {channel_cls.name: {} for channel_cls in ALL_CHANNELS}
+        for cell in cells:
+            matrix[cell.channel][cell.scenario] = cell
+        return matrix
 
     matrix = run_once(benchmark, experiment)
 

@@ -11,7 +11,10 @@
     python -m repro filesize
 
 Every subcommand accepts ``--seed`` for reproducibility and prints the
-same row format the benchmark harness uses.
+same row format the benchmark harness uses.  ``--workers N`` (or
+``REPRO_WORKERS``) fans independent trials out across processes where a
+command supports it (``capacity``, ``fingerprint``); worker count never
+changes the results, only the wall time.
 """
 
 from __future__ import annotations
@@ -101,6 +104,7 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
         bits=args.bits,
         cross_processor=args.cross_processor,
         seed=args.seed,
+        workers=args.workers,
     )
     rows = [
         [f"{p.interval_ms:.0f}", f"{p.raw_rate_bps:.1f}",
@@ -166,7 +170,7 @@ def _cmd_fingerprint(args: argparse.Namespace) -> int:
 
     dataset = collect_dataset(
         num_sites=args.sites, train_visits=3, test_visits=2,
-        trace_ms=args.trace_ms, seed=args.seed,
+        trace_ms=args.trace_ms, seed=args.seed, workers=args.workers,
     )
     result = run_fingerprinting_study(
         dataset,
@@ -201,6 +205,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0,
                         help="experiment seed (default 0)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="processes for independent trials "
+                             "(default 1 or $REPRO_WORKERS; 0 = all "
+                             "CPUs; results are identical for every "
+                             "value)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     transmit = commands.add_parser(
@@ -260,8 +269,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
+    from .config import RunnerConfig
+    from .errors import ConfigError
+
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        if args.workers is None:
+            # Resolved here, not at parser build time, so a bad
+            # REPRO_WORKERS yields a clean error (and --help works).
+            args.workers = RunnerConfig.from_env().workers
+        else:
+            RunnerConfig(workers=args.workers).validate()
+        return args.handler(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ by constructing a modified :class:`PlatformConfig`.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 
 from .errors import ConfigError
@@ -294,6 +295,42 @@ class EnergyModelConfig:
         """Raise :class:`ConfigError` on non-physical energy constants."""
         if min(self.static_watts, self.dynamic_coeff) < 0:
             raise ConfigError("power coefficients must be non-negative")
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """How experiments *execute* — distinct from what they model.
+
+    ``workers`` is the process fan-out handed to
+    :func:`repro.engine.parallel.run_trials`; results are bit-identical
+    for every value, so this knob trades wall time only.  ``0`` means
+    "all available CPUs".
+    """
+
+    workers: int = 1
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on a nonsensical worker count."""
+        if self.workers < 0:
+            raise ConfigError(
+                f"workers must be >= 0 (0 = all CPUs), got {self.workers}"
+            )
+
+    @classmethod
+    def from_env(cls) -> "RunnerConfig":
+        """Build from ``REPRO_WORKERS`` (default 1; 0 = all CPUs)."""
+        raw = os.environ.get("REPRO_WORKERS", "").strip()
+        if not raw:
+            return cls()
+        try:
+            workers = int(raw)
+        except ValueError as exc:
+            raise ConfigError(
+                f"REPRO_WORKERS must be an integer, got {raw!r}"
+            ) from exc
+        config = cls(workers=workers)
+        config.validate()
+        return config
 
 
 @dataclass(frozen=True)

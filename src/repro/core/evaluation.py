@@ -12,6 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..config import PlatformConfig
+from ..engine.parallel import Trial, run_trials
 from ..platform.system import System
 from ..rng import child_rng
 from ..units import ms
@@ -84,18 +85,26 @@ def capacity_sweep(
     cross_processor: bool = False,
     seed: int = 0,
     platform: PlatformConfig | None = None,
+    workers: int | None = 1,
 ) -> list[CapacityPoint]:
-    """The Figure 10 sweep for one deployment."""
-    return [
-        measure_capacity(
+    """The Figure 10 sweep for one deployment.
+
+    Each sweep point deploys its own freshly-seeded system, so the
+    points are independent trials: ``workers > 1`` fans them out across
+    processes and returns the exact same :class:`CapacityPoint` list a
+    serial run produces, in interval order.
+    """
+    trials = [
+        Trial(measure_capacity, dict(
             interval_ms=interval,
             bits=bits,
             cross_processor=cross_processor,
             seed=seed,
             platform=platform,
-        )
+        ))
         for interval in intervals_ms
     ]
+    return run_trials(trials, workers=workers)
 
 
 def peak_capacity(points: list[CapacityPoint]) -> CapacityPoint:
@@ -118,15 +127,18 @@ def summarize_sweep(points: list[CapacityPoint]) -> dict[str, float]:
 
 def mean_error_over_seeds(interval_ms: float, *, bits: int = 80,
                           seeds: tuple[int, ...] = (0, 1, 2),
-                          cross_processor: bool = False) -> float:
+                          cross_processor: bool = False,
+                          workers: int | None = 1) -> float:
     """Average BER across seeds (smooths single-run variance)."""
-    errors = [
-        measure_capacity(
+    trials = [
+        Trial(measure_capacity, dict(
             interval_ms=interval_ms,
             bits=bits,
             cross_processor=cross_processor,
             seed=seed,
-        ).error_rate
+        ))
         for seed in seeds
     ]
+    errors = [point.error_rate
+              for point in run_trials(trials, workers=workers)]
     return float(np.mean(errors))

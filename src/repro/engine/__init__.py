@@ -3,9 +3,21 @@
 A minimal, deterministic event loop: integer-nanosecond time, a binary
 heap of callbacks, stable FIFO ordering for simultaneous events, and
 helpers for periodic tasks (the UFS PMU tick, activity samplers).
+:mod:`.parallel` adds a deterministic multi-process trial runner on
+top, for experiments made of independent seeded runs.
 """
 
-from .simulator import Engine, Event
+from .parallel import Trial, map_trials, resolve_workers, run_trials, trial_seeds
 from .periodic import PeriodicTask
+from .simulator import Engine, Event
 
-__all__ = ["Engine", "Event", "PeriodicTask"]
+__all__ = [
+    "Engine",
+    "Event",
+    "PeriodicTask",
+    "Trial",
+    "map_trials",
+    "resolve_workers",
+    "run_trials",
+    "trial_seeds",
+]

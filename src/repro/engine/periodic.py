@@ -63,7 +63,10 @@ class PeriodicTask:
         self._fire_count += 1
         self._callback()
         if self._running:
-            self._event = self._engine.schedule(self._period_ns, self._fire)
+            # Fast path: the handle that just fired is re-armed in place
+            # (Engine.reschedule), so a steady periodic tick allocates no
+            # Event objects after the first firing.
+            self._engine.reschedule(self._event, self._period_ns)
 
     def stop(self) -> None:
         """Stop firing.  Safe to call from inside the callback."""

@@ -9,29 +9,81 @@ Design notes
   this makes every simulation replayable.
 * Events can be cancelled; cancellation is O(1) (a tombstone flag) and
   the heap skips dead entries on pop.
+
+Hot-path layout
+---------------
+The heap stores plain ``(time_ns, sequence, event)`` tuples, so every
+sift compares machine integers instead of calling a dataclass
+``__lt__``.  :class:`Event` is a ``__slots__`` handle kept *outside*
+the heap key: it carries the callback and a three-state lifecycle flag,
+and its ``cancel()`` API is unchanged.  Live/dead bookkeeping is
+counter-based (``pending`` is O(1)) and the heap self-compacts when
+tombstones outnumber live entries, so cancel-heavy experiments never
+pay an O(n) scan on the schedule/cancel path.  ``schedule`` and the run
+loops are deliberately flat — no delegation between ``schedule`` /
+``schedule_at`` or ``run_until`` / ``step`` — because at millions of
+events per simulated second every extra frame shows up in wall time.
 """
 
 from __future__ import annotations
 
-import heapq
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from heapq import heapify as _heapify
+from heapq import heappop as _heappop
+from heapq import heappush as _heappush
 
 from ..errors import SchedulingError
 
+#: Auto-compaction floor: the heap is rebuilt without tombstones only
+#: when at least this many are dead *and* they outnumber live entries,
+#: so small queues never thrash and the amortised cost stays O(1).
+COMPACT_MIN_DEAD = 64
 
-@dataclass(order=True)
+# Event lifecycle states (kept as plain ints for cheap stores/tests).
+_LIVE = 0        # queued, will fire
+_CANCELLED = 1   # tombstoned; its heap entry is skipped on pop
+_FIRED = 2       # popped and executed; may be re-armed via reschedule()
+
+_new_event = object.__new__
+
+
 class Event:
-    """A scheduled callback.  Compare/sort by (time, sequence)."""
+    """Handle for a scheduled callback.
 
-    time_ns: int
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    The handle never sits in the heap itself (the heap holds
+    ``(time_ns, sequence, event)`` tuples), so it carries no ordering
+    methods — only the callback, the firing time and a lifecycle flag.
+    ``cancel()`` is O(1) and idempotent.
+
+    The engine's ``schedule``/``schedule_at`` build handles through
+    ``object.__new__`` and direct slot stores — a Python-level
+    ``__init__`` frame per event is measurable at this call rate — so
+    this constructor only serves direct instantiation.
+    """
+
+    __slots__ = ("time_ns", "callback", "_state", "_engine")
+
+    def __init__(self, engine: "Engine", time_ns: int,
+                 callback: Callable[[], None]) -> None:
+        self._engine = engine
+        self.time_ns = time_ns
+        self.callback = callback
+        self._state = _LIVE
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event was cancelled before firing."""
+        return self._state == _CANCELLED
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self.cancelled = True
+        if self._state == _LIVE:
+            self._state = _CANCELLED
+            self._engine._note_cancelled()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = ("pending", "cancelled", "fired")[self._state]
+        return f"<Event t={self.time_ns} {state}>"
 
 
 class Engine:
@@ -40,8 +92,12 @@ class Engine:
     def __init__(self) -> None:
         self._now: int = 0
         self._sequence: int = 0
-        self._queue: list[Event] = []
+        # Heap of (time_ns, sequence, Event) — integer-first keys keep
+        # sift comparisons cheap; the Event is never compared.
+        self._queue: list[tuple[int, int, Event]] = []
         self._events_fired: int = 0
+        self._live: int = 0   # scheduled, not yet fired or cancelled
+        self._dead: int = 0   # tombstones still sitting in the heap
 
     @property
     def now(self) -> int:
@@ -55,8 +111,13 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return self._live
+
+    @property
+    def queue_depth(self) -> int:
+        """Heap entries including tombstones (``pending`` + dead)."""
+        return len(self._queue)
 
     def schedule_at(self, time_ns: int, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at absolute time ``time_ns``."""
@@ -64,35 +125,89 @@ class Engine:
             raise SchedulingError(
                 f"cannot schedule at {time_ns} ns; now is {self._now} ns"
             )
-        event = Event(time_ns=time_ns, sequence=self._sequence,
-                      callback=callback)
-        self._sequence += 1
-        heapq.heappush(self._queue, event)
+        event = _new_event(Event)
+        event._engine = self
+        event.time_ns = time_ns
+        event.callback = callback
+        event._state = _LIVE
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        self._live += 1
+        _heappush(self._queue, (time_ns, sequence, event))
         return event
 
     def schedule(self, delay_ns: int, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` after a relative delay."""
         if delay_ns < 0:
             raise SchedulingError(f"negative delay {delay_ns} ns")
-        return self.schedule_at(self._now + delay_ns, callback)
+        time_ns = self._now + delay_ns
+        event = _new_event(Event)
+        event._engine = self
+        event.time_ns = time_ns
+        event.callback = callback
+        event._state = _LIVE
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        self._live += 1
+        _heappush(self._queue, (time_ns, sequence, event))
+        return event
 
-    def _pop_live(self) -> Event | None:
-        """Pop the next non-cancelled event, or None if the queue is dry."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if not event.cancelled:
-                return event
-        return None
+    def reschedule(self, event: Event, delay_ns: int) -> Event:
+        """Re-arm a *fired* handle after ``delay_ns`` without allocating.
+
+        The fast path for periodic tasks: the same :class:`Event` object
+        is pushed back onto the heap with a fresh time and sequence.
+        Only a handle that has already fired may be re-armed — a live or
+        tombstoned handle may still sit in the heap, and resurrecting it
+        would let the stale entry fire at the wrong time.
+        """
+        if event._state != _FIRED:
+            raise SchedulingError(
+                "reschedule() requires a handle that has already fired"
+            )
+        if delay_ns < 0:
+            raise SchedulingError(f"negative delay {delay_ns} ns")
+        time_ns = self._now + delay_ns
+        event.time_ns = time_ns
+        event._state = _LIVE
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        self._live += 1
+        _heappush(self._queue, (time_ns, sequence, event))
+        return event
+
+    def _note_cancelled(self) -> None:
+        """Counter upkeep for one tombstoned entry; compacts when the
+        dead outnumber the living."""
+        self._live -= 1
+        self._dead += 1
+        if self._dead >= COMPACT_MIN_DEAD and self._dead > self._live:
+            self._compact()
+
+    def _compact(self) -> None:
+        # In place (slice assignment) so run loops holding a local
+        # reference to the queue survive a compaction triggered from
+        # inside a callback.
+        queue = self._queue
+        queue[:] = [entry for entry in queue if entry[2]._state != _CANCELLED]
+        _heapify(queue)
+        self._dead = 0
 
     def step(self) -> bool:
         """Fire the single next event.  Returns False when none remain."""
-        event = self._pop_live()
-        if event is None:
-            return False
-        self._now = event.time_ns
-        self._events_fired += 1
-        event.callback()
-        return True
+        queue = self._queue
+        while queue:
+            time_ns, _sequence, event = _heappop(queue)
+            if event._state == _CANCELLED:
+                self._dead -= 1
+                continue
+            event._state = _FIRED
+            self._live -= 1
+            self._now = time_ns
+            self._events_fired += 1
+            event.callback()
+            return True
+        return False
 
     def run_until(self, time_ns: int) -> None:
         """Fire every event up to and including ``time_ns``, then set the
@@ -101,14 +216,19 @@ class Engine:
             raise SchedulingError(
                 f"cannot run backwards to {time_ns} ns from {self._now} ns"
             )
-        while self._queue:
-            head = self._queue[0]
-            if head.cancelled:
-                heapq.heappop(self._queue)
-                continue
-            if head.time_ns > time_ns:
+        queue = self._queue
+        while queue:
+            if queue[0][0] > time_ns:
                 break
-            self.step()
+            event_time, _sequence, event = _heappop(queue)
+            if event._state == _CANCELLED:
+                self._dead -= 1
+                continue
+            event._state = _FIRED
+            self._live -= 1
+            self._now = event_time
+            self._events_fired += 1
+            event.callback()
         self._now = time_ns
 
     def run_for(self, duration_ns: int) -> None:
@@ -117,8 +237,18 @@ class Engine:
 
     def run(self, max_events: int = 10_000_000) -> None:
         """Fire events until the queue is empty (bounded for safety)."""
+        queue = self._queue
         fired = 0
-        while self.step():
+        while queue:
+            event_time, _sequence, event = _heappop(queue)
+            if event._state == _CANCELLED:
+                self._dead -= 1
+                continue
+            event._state = _FIRED
+            self._live -= 1
+            self._now = event_time
+            self._events_fired += 1
+            event.callback()
             fired += 1
             if fired >= max_events:
                 raise SchedulingError(
@@ -129,11 +259,12 @@ class Engine:
     def drain_cancelled(self) -> int:
         """Compact the heap by removing tombstoned events.
 
-        Long experiments that cancel many timers can call this
-        occasionally; returns the number of entries removed.
+        Compaction also happens automatically once tombstones outnumber
+        live entries (see :data:`COMPACT_MIN_DEAD`); this remains for
+        callers that want the memory back immediately.  Returns the
+        number of entries removed.
         """
-        before = len(self._queue)
-        live = [event for event in self._queue if not event.cancelled]
-        heapq.heapify(live)
-        self._queue = live
-        return before - len(self._queue)
+        removed = self._dead
+        if removed:
+            self._compact()
+        return removed

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..analysis.stats import top_k_accuracy
+from ..engine.parallel import Trial, resolve_workers, run_trials
 from ..platform.system import System
 from ..rng import derive_seed
 from ..workloads.browser import BrowserVictim, WebsiteLibrary
@@ -45,6 +46,50 @@ class FingerprintResult:
     test_traces: int
 
 
+def _collect_site_traces(
+    *,
+    site: int,
+    num_sites: int,
+    train_visits: int,
+    test_visits: int,
+    trace_ms: float,
+    seed: int,
+    victim_core: int,
+    platform=None,
+) -> tuple[list[TraceRecord], list[TraceRecord]]:
+    """Collect all visits to one site in a dedicated seeded system.
+
+    The shard's system seed is derived from ``(seed, site)`` only, so a
+    shard's traces are a pure function of the experiment seed — not of
+    how many workers collect them or in what order.  The victim RNG
+    streams reuse the same ``visit-<site>-<visit>`` names the long-lived
+    campaign uses, keyed off the shard seed.
+    """
+    system = System(platform, seed=derive_seed(seed, f"fp-site-{site}"))
+    attacker = UfsAttacker(system)
+    attacker.settle()
+    collector = FrequencyTraceCollector(attacker)
+    library = WebsiteLibrary(num_sites, seed=derive_seed(seed, "sites"),
+                             trace_ms=trace_ms)
+    signature = library.signature(site)
+    train: list[TraceRecord] = []
+    test: list[TraceRecord] = []
+    for visit in range(train_visits + test_visits):
+        victim = BrowserVictim(
+            f"browse-{site}-{visit}",
+            signature,
+            system.namer.rng(f"visit-{site}-{visit}"),
+        )
+        system.launch(victim, 0, victim_core)
+        trace = collector.collect(trace_ms, label=site)
+        system.terminate(victim)
+        system.run_ms(60.0)  # frequency recovers between visits
+        (train if visit < train_visits else test).append(trace)
+    attacker.shutdown()
+    system.stop()
+    return train, test
+
+
 def collect_dataset(
     *,
     num_sites: int = 100,
@@ -54,23 +99,61 @@ def collect_dataset(
     seed: int = 0,
     victim_core: int = 5,
     platform=None,
+    workers: int | None = 1,
+    per_site_systems: bool | None = None,
 ) -> FingerprintDataset:
     """Run the attacker against victim visits to every site.
 
-    One long-lived system hosts all visits: the attacker's helpers and
-    probe stay resident (as they would in a real campaign) and victims
-    come and go on their own core.  ``platform`` overrides the platform
-    configuration — the Section 6.1 study passes a UFS-range-restricted
-    one here.
+    By default one long-lived system hosts all visits: the attacker's
+    helpers and probe stay resident (as they would in a real campaign)
+    and victims come and go on their own core.  ``platform`` overrides
+    the platform configuration — the Section 6.1 study passes a
+    UFS-range-restricted one here.
+
+    ``per_site_systems=True`` (implied by ``workers > 1``) switches to
+    sharded collection: every site's visits run in their own system
+    seeded from ``(seed, site)``, which makes the sites independent
+    trials that :func:`~repro.engine.parallel.run_trials` can fan out
+    across processes.  A sharded dataset is a pure function of the
+    experiment seed — identical for every worker count — but it is a
+    *different* (equally valid) dataset than the long-lived-campaign
+    one, since the attacker state no longer carries across sites.
     """
+    if per_site_systems is None:
+        per_site_systems = resolve_workers(workers) > 1
+    if per_site_systems:
+        trials = [
+            Trial(_collect_site_traces, dict(
+                site=site,
+                num_sites=num_sites,
+                train_visits=train_visits,
+                test_visits=test_visits,
+                trace_ms=trace_ms,
+                seed=seed,
+                victim_core=victim_core,
+                platform=platform,
+            ))
+            for site in range(num_sites)
+        ]
+        train: list[TraceRecord] = []
+        test: list[TraceRecord] = []
+        for site_train, site_test in run_trials(trials, workers=workers):
+            train.extend(site_train)
+            test.extend(site_test)
+        return FingerprintDataset(
+            train=tuple(train),
+            test=tuple(test),
+            num_sites=num_sites,
+            trace_ms=trace_ms,
+        )
     system = System(platform, seed=seed)
     attacker = UfsAttacker(system)
     attacker.settle()
     collector = FrequencyTraceCollector(attacker)
     library = WebsiteLibrary(num_sites, seed=derive_seed(seed, "sites"),
                              trace_ms=trace_ms)
-    train: list[TraceRecord] = []
-    test: list[TraceRecord] = []
+    train = []
+    test = []
     for site in range(num_sites):
         signature = library.signature(site)
         for visit in range(train_visits + test_visits):

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.engine import Engine, PeriodicTask
+from repro.engine.simulator import COMPACT_MIN_DEAD
 from repro.errors import SchedulingError
 
 
@@ -128,6 +129,111 @@ class TestCancellation:
         engine.run()
         assert engine.events_fired == 3
 
+    def test_drain_cancelled_empty_is_noop(self):
+        engine = Engine()
+        engine.schedule(10, lambda: None)
+        assert engine.drain_cancelled() == 0
+        assert engine.pending == 1
+
+    def test_pending_counter_tracks_brute_force_scan(self):
+        """The O(1) counter must agree with an exhaustive heap scan
+        through an arbitrary schedule/cancel/fire interleaving."""
+        engine = Engine()
+        events = []
+        for i in range(50):
+            events.append(engine.schedule(10 * (i + 1), lambda: None))
+        for event in events[::3]:
+            event.cancel()
+        events[0].cancel()  # double-cancel stays idempotent
+        engine.run_until(200)
+        scan = sum(1 for entry in engine._queue
+                   if not entry[2].cancelled)
+        assert engine.pending == scan
+
+    def test_tombstones_auto_compact(self):
+        """Once dead entries outnumber live ones (past the floor), the
+        heap shrinks without an explicit drain_cancelled() call."""
+        engine = Engine()
+        keep = [engine.schedule(1_000 + i, lambda: None) for i in range(5)]
+        victims = [engine.schedule(i + 1, lambda: None)
+                   for i in range(200)]
+        assert engine.queue_depth == 205
+        for event in victims:
+            event.cancel()
+        # Compaction ran at least once: far fewer heap entries than the
+        # 200 tombstones created, and never more than live + the floor.
+        assert engine.queue_depth <= len(keep) + COMPACT_MIN_DEAD
+        assert engine.pending == len(keep)
+        engine.run()
+        assert engine.events_fired == len(keep)
+        assert engine.queue_depth == 0
+
+    def test_small_queues_do_not_auto_compact(self):
+        engine = Engine()
+        events = [engine.schedule(i + 1, lambda: None) for i in range(10)]
+        for event in events:
+            event.cancel()
+        # Below the compaction floor the tombstones stay put...
+        assert engine.queue_depth == 10
+        assert engine.pending == 0
+        # ...and are skipped on pop without firing anything.
+        engine.run()
+        assert engine.events_fired == 0
+        assert engine.queue_depth == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        engine = Engine()
+        event = engine.schedule(10, lambda: None)
+        engine.run()
+        event.cancel()
+        assert engine.pending == 0
+        assert engine.events_fired == 1
+
+
+class TestReschedule:
+    def test_reschedule_reuses_the_handle(self):
+        engine = Engine()
+        fired = []
+        event = engine.schedule(10, lambda: fired.append(engine.now))
+        engine.run()
+        again = engine.reschedule(event, 5)
+        assert again is event
+        assert event.time_ns == 15
+        engine.run()
+        assert fired == [10, 15]
+        assert engine.events_fired == 2
+
+    def test_reschedule_unfired_event_rejected(self):
+        engine = Engine()
+        event = engine.schedule(10, lambda: None)
+        with pytest.raises(SchedulingError):
+            engine.reschedule(event, 5)
+
+    def test_reschedule_cancelled_event_rejected(self):
+        engine = Engine()
+        event = engine.schedule(10, lambda: None)
+        event.cancel()
+        with pytest.raises(SchedulingError):
+            engine.reschedule(event, 5)
+
+    def test_reschedule_negative_delay_rejected(self):
+        engine = Engine()
+        event = engine.schedule(10, lambda: None)
+        engine.run()
+        with pytest.raises(SchedulingError):
+            engine.reschedule(event, -1)
+
+    def test_rescheduled_event_can_be_cancelled(self):
+        engine = Engine()
+        fired = []
+        event = engine.schedule(10, lambda: fired.append(engine.now))
+        engine.run()
+        engine.reschedule(event, 5)
+        event.cancel()
+        engine.run()
+        assert fired == [10]
+        assert engine.pending == 0
+
 
 class TestRunawayProtection:
     def test_run_raises_on_unbounded_self_scheduling(self):
@@ -148,6 +254,15 @@ class TestPeriodicTask:
         PeriodicTask(engine, 10, lambda: times.append(engine.now))
         engine.run_until(35)
         assert times == [10, 20, 30]
+
+    def test_fast_path_reuses_one_event_handle(self):
+        engine = Engine()
+        task = PeriodicTask(engine, 10, lambda: None)
+        first = task._event
+        engine.run_until(100)
+        assert task._event is first
+        assert task.fire_count == 10
+        assert engine.pending == 1  # exactly one re-armed tick queued
 
     def test_phase_offsets_first_firing(self):
         engine = Engine()
