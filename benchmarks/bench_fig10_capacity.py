@@ -9,7 +9,7 @@ the error rate is near zero and capacity tracks the raw rate.
 
 from repro.analysis import format_table
 from repro.config import RunnerConfig
-from repro.core.evaluation import capacity_sweep, peak_capacity
+from repro.core.evaluation import capacity_sweep
 
 from _harness import report, run_once
 
@@ -39,7 +39,7 @@ def _render(points, label, paper_peak):
         ]
         for p in points
     ]
-    best = peak_capacity(points)
+    best = points.peak()
     return format_table(
         ["interval (ms)", "raw rate (bps)", "BER (%)",
          "capacity (bit/s)"],
@@ -56,7 +56,7 @@ def _render(points, label, paper_peak):
 def test_fig10_cross_core(benchmark):
     points = run_once(benchmark, lambda: _sweep(False, bits=200))
     report("fig10_cross_core", _render(points, "cross-core", 46))
-    best = peak_capacity(points)
+    best = points.peak()
     # Shape requirements: substantial peak in the paper's band, low
     # error at low rates, degradation at high rates.
     assert 30.0 <= best.capacity_bps <= 55.0
@@ -71,15 +71,15 @@ def test_fig10_cross_processor(benchmark):
     points = run_once(benchmark, lambda: _sweep(True, bits=200))
     report("fig10_cross_processor",
            _render(points, "cross-processor", 31))
-    best = peak_capacity(points)
+    best = points.peak()
     assert 20.0 <= best.capacity_bps <= 40.0
     assert points[0].error_rate <= 0.03
 
 
 def test_fig10_cross_core_beats_cross_processor(benchmark):
     def experiment():
-        local = peak_capacity(_sweep(False, bits=120))
-        remote = peak_capacity(_sweep(True, bits=120))
+        local = _sweep(False, bits=120).peak()
+        remote = _sweep(True, bits=120).peak()
         return local, remote
 
     local, remote = run_once(benchmark, experiment)

@@ -34,6 +34,43 @@ def test_perf_engine_event_throughput(benchmark):
     assert benchmark(spin) == 10_000
 
 
+def test_perf_engine_event_throughput_telemetry(benchmark):
+    """The event-throughput spin with telemetry active.
+
+    Instrumentation is always-on plain-int counters harvested at
+    teardown, so this must land within 5 % of the plain
+    ``test_perf_engine_event_throughput`` median — the CI smoke step
+    (``benchmarks/check_regression.py``) enforces exactly that against
+    BENCH_baseline.json.
+    """
+    from repro.telemetry import (
+        MetricsRegistry,
+        harvest_engine,
+        using,
+    )
+
+    def spin():
+        registry = MetricsRegistry()
+        with using(registry):
+            engine = Engine()
+            count = 0
+
+            def tick():
+                nonlocal count
+                count += 1
+                if count < 10_000:
+                    engine.schedule(10, tick)
+
+            engine.schedule(10, tick)
+            engine.run()
+            harvest_engine(engine, registry)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["engine.events_fired"] == 10_000
+        return count
+
+    assert benchmark(spin) == 10_000
+
+
 def test_perf_engine_cancel_churn(benchmark):
     """Throughput with heavy cancellation: schedule two timers per tick
     and cancel one, so tombstones accumulate and the heap's

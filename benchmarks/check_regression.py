@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Telemetry-overhead smoke gate for CI.
+
+Runs the engine event-throughput micro-benchmark twice — plain and with
+the telemetry registry active — and fails (exit 1) when either
+
+* the telemetry variant's median exceeds the plain variant's median by
+  more than the tolerance (default 5 %): instrumentation has grown a
+  hot-path cost; or
+* the plain variant's median exceeds the recorded baseline median in
+  ``BENCH_baseline.json`` by more than the tolerance *and*
+  ``--against-baseline`` was requested: the substrate itself regressed.
+  (Cross-machine medians are noisy, so the baseline check is opt-in;
+  the paired telemetry-vs-plain check is the default CI gate.)
+
+Usage::
+
+    python benchmarks/check_regression.py [--tolerance 0.05]
+        [--against-baseline] [--baseline BENCH_baseline.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+PLAIN = "test_perf_engine_event_throughput"
+TELEMETRY = "test_perf_engine_event_throughput_telemetry"
+
+
+def run_benchmarks() -> dict[str, float]:
+    """Run both throughput benches; return name -> median seconds."""
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "bench.json"
+        command = [
+            sys.executable, "-m", "pytest",
+            str(REPO_ROOT / "benchmarks" / "bench_simulator_performance.py"),
+            "-k", "event_throughput",
+            "--benchmark-only",
+            f"--benchmark-json={out}",
+            "-q", "--no-header", "-p", "no:cacheprovider",
+        ]
+        proc = subprocess.run(command, cwd=REPO_ROOT)
+        if proc.returncode != 0:
+            raise SystemExit(
+                f"benchmark run failed (exit {proc.returncode})"
+            )
+        data = json.loads(out.read_text())
+    medians = {
+        bench["name"]: bench["stats"]["median"]
+        for bench in data["benchmarks"]
+    }
+    missing = {PLAIN, TELEMETRY} - medians.keys()
+    if missing:
+        raise SystemExit(f"benchmarks missing from run: {missing}")
+    return medians
+
+
+def baseline_median(path: Path) -> float:
+    data = json.loads(path.read_text())
+    for bench in data["benchmarks"]:
+        if bench["name"] == PLAIN:
+            return bench["stats"]["median"]
+    raise SystemExit(f"{PLAIN} not found in {path}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="allowed fractional overhead (default 0.05)")
+    parser.add_argument("--baseline",
+                        default=str(REPO_ROOT / "BENCH_baseline.json"),
+                        help="recorded baseline JSON")
+    parser.add_argument("--against-baseline", action="store_true",
+                        help="also gate the plain median against the "
+                             "recorded baseline (cross-machine: noisy)")
+    args = parser.parse_args(argv)
+
+    medians = run_benchmarks()
+    plain = medians[PLAIN]
+    telemetry = medians[TELEMETRY]
+    overhead = telemetry / plain - 1.0
+    print(f"plain median:     {plain * 1e3:8.3f} ms")
+    print(f"telemetry median: {telemetry * 1e3:8.3f} ms")
+    print(f"overhead:         {100 * overhead:+8.2f} % "
+          f"(tolerance {100 * args.tolerance:.0f} %)")
+
+    failed = False
+    if overhead > args.tolerance:
+        print("FAIL: telemetry overhead exceeds tolerance")
+        failed = True
+
+    if args.against_baseline:
+        recorded = baseline_median(Path(args.baseline))
+        drift = plain / recorded - 1.0
+        print(f"recorded baseline: {recorded * 1e3:8.3f} ms "
+              f"(drift {100 * drift:+.2f} %)")
+        if drift > args.tolerance:
+            print("FAIL: plain throughput regressed vs baseline")
+            failed = True
+
+    if not failed:
+        print("OK: telemetry is within the overhead budget")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,7 +29,18 @@ Layer map (bottom up):
 * :mod:`repro.sidechannel` — file-size profiling and website
   fingerprinting (Section 5);
 * :mod:`repro.defenses` — the Section 6.1 countermeasures;
-* :mod:`repro.analysis` — capacity math, statistics, table rendering.
+* :mod:`repro.analysis` — capacity math, statistics, table rendering;
+* :mod:`repro.telemetry` — the observational metrics registry and run
+  manifests.
+
+Import surface: this top-level package re-exports the working set —
+the system (:class:`System`, :class:`PlatformConfig`,
+:func:`default_platform_config`), the channel
+(:class:`UFVariationChannel`, :class:`ChannelConfig`), the uniform
+experiment API (:func:`capacity_sweep` → :class:`SweepResult`,
+:class:`ExperimentContext`) and the telemetry registry
+(:class:`MetricsRegistry`).  Everything else lives one level down in
+its layer module.
 """
 
 from .config import (
@@ -41,7 +52,9 @@ from .config import (
 from .platform import Actor, SecurityConfig, System
 from .core import (
     ChannelConfig,
+    ExperimentContext,
     SenderMode,
+    SweepResult,
     TransmissionResult,
     UFReceiver,
     UFSender,
@@ -50,6 +63,7 @@ from .core import (
     capacity_sweep,
     capacity_under_stress,
 )
+from .telemetry import MetricsRegistry
 from .errors import (
     ChannelError,
     ConfigError,
@@ -65,12 +79,15 @@ __all__ = [
     "ChannelConfig",
     "ChannelError",
     "ConfigError",
+    "ExperimentContext",
+    "MetricsRegistry",
     "PlatformConfig",
     "PrerequisiteError",
     "PrivilegeError",
     "ReproError",
     "SecurityConfig",
     "SenderMode",
+    "SweepResult",
     "System",
     "TransmissionResult",
     "UFReceiver",

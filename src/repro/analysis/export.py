@@ -66,6 +66,32 @@ def capacity_sweep_to_csv(points) -> str:
     )
 
 
+def manifest_to_json(manifest, *, indent: int = 2) -> str:
+    """Serialise a :class:`~repro.telemetry.RunManifest` to JSON.
+
+    The manifest is a frozen dataclass, so this is ``results_to_json``
+    under a name that documents the artefact.
+    """
+    return results_to_json(manifest, indent=indent)
+
+
+def append_jsonl(path, record) -> None:
+    """Append one record as a JSON line to ``path`` (created if absent).
+
+    JSONL is the manifest log format: one run per line, so repeated
+    experiment invocations accumulate an audit trail instead of
+    clobbering each other.
+    """
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(_jsonable(record)))
+        handle.write("\n")
+
+
+def write_manifest(path, manifest) -> None:
+    """Append one run manifest to the JSONL log at ``path``."""
+    append_jsonl(path, manifest)
+
+
 def comparison_to_csv(cells) -> str:
     """The Table 3 cells in CSV form."""
     return rows_to_csv(

@@ -61,6 +61,26 @@ class AccessOutcome:
         return self.level not in (Level.L1, Level.L2)
 
 
+class CacheStats:
+    """Lifetime access counters for one hierarchy (telemetry harvest).
+
+    Plain ``__slots__`` ints bumped on the load path — cheap enough to
+    stay always-on; the telemetry layer reads them at teardown.
+    """
+
+    __slots__ = ("loads", "l1_hits", "l2_hits", "llc_hits",
+                 "remote_hits", "dram_fills", "clflushes")
+
+    def __init__(self) -> None:
+        self.loads = 0
+        self.l1_hits = 0
+        self.l2_hits = 0
+        self.llc_hits = 0
+        self.remote_hits = 0
+        self.dram_fills = 0
+        self.clflushes = 0
+
+
 class _Transaction:
     """An active TSX-style transaction tracking a read set."""
 
@@ -113,6 +133,7 @@ class CacheHierarchy:
             for i in range(num_slices)
         ]
         self._directories = self._make_directories()
+        self.stats = CacheStats()
         self._transactions: dict[int, _Transaction] = {}
         for slice_cache in self._llc:
             slice_cache.add_eviction_listener(self._on_llc_eviction)
@@ -201,17 +222,22 @@ class CacheHierarchy:
         hash_fn = slice_hash if slice_hash is not None else self.slice_hash
         line = physical_address >> 6
         slice_id = hash_fn.slice_of(line)
+        stats = self.stats
+        stats.loads += 1
 
         if self._l1[core_id].lookup(line):
+            stats.l1_hits += 1
             return AccessOutcome(Level.L1, None, line)
 
         if self._l2[core_id].lookup(line):
+            stats.l2_hits += 1
             self._fill_l1(core_id, line)
             return AccessOutcome(Level.L2, None, line)
 
         if self._llc[slice_id].lookup(line):
             # Victim-cache semantics: promote to the private caches and
             # drop the LLC copy.
+            stats.llc_hits += 1
             self._llc[slice_id].invalidate(line)
             self._fill_private(core_id, line, hash_fn)
             return AccessOutcome(Level.LLC, slice_id, line)
@@ -220,7 +246,9 @@ class CacheHierarchy:
                                                            core_id)
         self._fill_private(core_id, line, hash_fn)
         if remote is not None:
+            stats.remote_hits += 1
             return AccessOutcome(Level.REMOTE_CACHE, slice_id, line)
+        stats.dram_fills += 1
         return AccessOutcome(Level.DRAM, slice_id, line)
 
     def _fill_l1(self, core_id: int, line: int) -> None:
@@ -262,6 +290,7 @@ class CacheHierarchy:
         """
         hash_fn = slice_hash if slice_hash is not None else self.slice_hash
         line = physical_address >> 6
+        self.stats.clflushes += 1
         was_cached = False
         for core_id in range(self.num_cores):
             was_cached |= self._l1[core_id].invalidate(line)

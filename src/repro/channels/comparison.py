@@ -177,22 +177,38 @@ def evaluate_channel(channel_cls, scenario: Scenario, *, bits: int = 24,
 def comparison_matrix(*, bits: int = 24, seed: int = 0,
                       channels: tuple[type, ...] = ALL_CHANNELS,
                       scenarios: tuple[Scenario, ...] = SCENARIOS,
-                      workers: int | None = 1) -> list[ComparisonCell]:
+                      workers: int | None = 1,
+                      context: "ExperimentContext | None" = None,
+                      ) -> list[ComparisonCell]:
     """The full Table 3: every channel in every scenario.
 
     Every (channel, scenario) cell builds its own seeded system, so the
     matrix is an independent trial grid: ``workers > 1`` evaluates cells
     in parallel processes and still returns them in row-major
     (channel, scenario) order, bit-identical to the serial run.
+
+    Scenarios define their own platforms (that is what Table 3
+    compares), so a ``context.platform`` override is rejected.
     """
+    from ..core.context import ExperimentContext
+    from ..errors import ConfigError
+
+    ctx = ExperimentContext.coalesce(
+        context, seed=seed, workers=workers
+    )
+    if ctx.platform is not None:
+        raise ConfigError(
+            "comparison_matrix scenarios define their own platforms; "
+            "a context platform override is not meaningful"
+        )
     trials = [
         Trial(evaluate_channel, dict(channel_cls=channel_cls,
                                      scenario=scenario,
-                                     bits=bits, seed=seed))
+                                     bits=bits, seed=ctx.seed))
         for channel_cls in channels
         for scenario in scenarios
     ]
-    return run_trials(trials, workers=workers)
+    return run_trials(trials, workers=ctx.workers)
 
 
 #: The paper's Table 3, for verification: channel -> scenario -> works.

@@ -13,19 +13,29 @@
 Every subcommand accepts ``--seed`` for reproducibility and prints the
 same row format the benchmark harness uses.  ``--workers N`` (or
 ``REPRO_WORKERS``) fans independent trials out across processes where a
-command supports it (``capacity``, ``fingerprint``); worker count never
-changes the results, only the wall time.
+command supports it (``capacity``, ``stress``, ``defenses``,
+``fingerprint``); worker count never changes the results, only the wall
+time.
+
+Observability: every subcommand takes ``--telemetry PATH``, appending
+a run manifest —
+config digest, seed, wall time, simulated time and the full metric
+snapshot — as one JSON line to PATH.  The experiment commands also take
+``--json``, replacing the human tables with the manifest (including the
+results) on stdout.  Telemetry is strictly observational: results are
+byte-identical with it on or off.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from .analysis import format_table
 
 
-def _cmd_transmit(args: argparse.Namespace) -> int:
+def _cmd_transmit(args: argparse.Namespace) -> dict:
     from .core import ChannelConfig, SenderMode, UFVariationChannel
     from .platform import System
     from .units import ms
@@ -57,10 +67,17 @@ def _cmd_transmit(args: argparse.Namespace) -> int:
           f"{result.capacity_bps:.1f} bit/s")
     channel.shutdown()
     system.stop()
-    return 0
+    return {
+        "experiment": "transmit",
+        "results": {
+            "bits": len(bits),
+            "error_rate": result.error_rate,
+            "capacity_bps": result.capacity_bps,
+        },
+    }
 
 
-def _cmd_characterize(args: argparse.Namespace) -> int:
+def _cmd_characterize(args: argparse.Namespace) -> dict:
     import numpy as np
 
     from .platform import System
@@ -94,77 +111,107 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
         title="median uncore frequency (GHz) vs thread count "
               "(Figure 3 excerpt)",
     ))
-    return 0
+    return {
+        "experiment": "characterize",
+        "results": {
+            "thread_counts": list(counts),
+            "median_ghz": {row[0]: row[1:] for row in rows},
+        },
+    }
 
 
-def _cmd_capacity(args: argparse.Namespace) -> int:
-    from .core.evaluation import capacity_sweep, peak_capacity
+def _cmd_capacity(args: argparse.Namespace) -> dict:
+    from .core.evaluation import DEFAULT_INTERVALS_MS, capacity_sweep
 
-    points = capacity_sweep(
+    intervals = (
+        tuple(args.intervals) if args.intervals else DEFAULT_INTERVALS_MS
+    )
+    sweep = capacity_sweep(
+        intervals_ms=intervals,
         bits=args.bits,
         cross_processor=args.cross_processor,
         seed=args.seed,
         workers=args.workers,
     )
-    rows = [
-        [f"{p.interval_ms:.0f}", f"{p.raw_rate_bps:.1f}",
-         f"{100 * p.error_rate:.1f}", f"{p.capacity_bps:.1f}"]
-        for p in points
-    ]
-    label = "cross-processor" if args.cross_processor else "cross-core"
-    best = peak_capacity(points)
-    print(format_table(
-        ["interval (ms)", "raw (bps)", "BER (%)", "capacity (bit/s)"],
-        rows,
-        title=f"{label} capacity sweep; peak "
-              f"{best.capacity_bps:.1f} bit/s",
-    ))
-    return 0
+    if not args.json:
+        rows = [
+            [f"{p.interval_ms:.0f}", f"{p.raw_rate_bps:.1f}",
+             f"{100 * p.error_rate:.1f}", f"{p.capacity_bps:.1f}"]
+            for p in sweep
+        ]
+        label = ("cross-processor" if args.cross_processor
+                 else "cross-core")
+        best = sweep.peak()
+        print(format_table(
+            ["interval (ms)", "raw (bps)", "BER (%)",
+             "capacity (bit/s)"],
+            rows,
+            title=f"{label} capacity sweep; peak "
+                  f"{best.capacity_bps:.1f} bit/s",
+        ))
+    return {
+        "experiment": "capacity",
+        "results": {
+            "points": sweep.points,
+            "summary": sweep.summarize(),
+        },
+    }
 
 
-def _cmd_stress(args: argparse.Namespace) -> int:
-    from .core.reliability import capacity_under_stress
+def _cmd_stress(args: argparse.Namespace) -> dict:
+    from .core.reliability import stress_table
 
-    rows = []
-    for threads in range(1, args.threads + 1):
-        cell = capacity_under_stress(threads, bits=args.bits,
-                                     seed=args.seed)
-        rows.append([
-            threads,
-            f"{cell.capacity_bps:.1f}",
-            f"{100 * cell.error_rate:.0f}",
-        ])
-    print(format_table(
-        ["N", "capacity (bit/s)", "BER (%)"], rows,
-        title="UF-variation under stress-ng --cache N (Table 2)",
-    ))
-    return 0
+    cells = stress_table(
+        args.threads, bits=args.bits, seed=args.seed,
+        workers=args.workers,
+    )
+    if not args.json:
+        rows = [
+            [
+                cell.stress_threads,
+                f"{cell.capacity_bps:.1f}",
+                f"{100 * cell.error_rate:.0f}",
+            ]
+            for cell in cells
+        ]
+        print(format_table(
+            ["N", "capacity (bit/s)", "BER (%)"], rows,
+            title="UF-variation under stress-ng --cache N (Table 2)",
+        ))
+    return {"experiment": "stress", "results": {"cells": cells}}
 
 
-def _cmd_defenses(args: argparse.Namespace) -> int:
+def _cmd_defenses(args: argparse.Namespace) -> dict:
     from .defenses import analytics_energy_overhead, evaluate_defenses
 
-    rows = [
-        [
-            r.defense,
-            f"{100 * r.error_rate:.1f}",
-            f"{r.capacity_bps:.1f}",
-            "stopped" if r.channel_stopped else "functional",
+    reports = evaluate_defenses(
+        bits=args.bits, seed=args.seed, workers=args.workers
+    )
+    if not args.json:
+        rows = [
+            [
+                r.defense,
+                f"{100 * r.error_rate:.1f}",
+                f"{r.capacity_bps:.1f}",
+                "stopped" if r.channel_stopped else "functional",
+            ]
+            for r in reports
         ]
-        for r in evaluate_defenses(bits=args.bits, seed=args.seed)
-    ]
-    print(format_table(
-        ["defense", "BER (%)", "capacity", "verdict"], rows,
-        title="UF-variation vs countermeasures (Section 6.1)",
-    ))
+        print(format_table(
+            ["defense", "BER (%)", "capacity", "verdict"], rows,
+            title="UF-variation vs countermeasures (Section 6.1)",
+        ))
+    results: dict = {"reports": reports}
     if args.energy:
-        result = analytics_energy_overhead(seed=args.seed)
-        print(f"\nfixed-at-max energy overhead on analytics: "
-              f"{result.overhead_percent:.1f} % (paper: ~7 %)")
-    return 0
+        energy = analytics_energy_overhead(seed=args.seed)
+        results["energy"] = energy
+        if not args.json:
+            print(f"\nfixed-at-max energy overhead on analytics: "
+                  f"{energy.overhead_percent:.1f} % (paper: ~7 %)")
+    return {"experiment": "defenses", "results": results}
 
 
-def _cmd_fingerprint(args: argparse.Namespace) -> int:
+def _cmd_fingerprint(args: argparse.Namespace) -> dict:
     from .sidechannel import collect_dataset, run_fingerprinting_study
     from .sidechannel.rnn import RnnConfig
 
@@ -177,14 +224,16 @@ def _cmd_fingerprint(args: argparse.Namespace) -> int:
         rnn_config=RnnConfig(num_classes=args.sites, epochs=400,
                              seed=args.seed),
     )
-    print(f"sites: {args.sites}  attack traces: {result.test_traces}")
-    print(f"RNN top-1: {100 * result.top1:.1f} %  "
-          f"top-5: {100 * result.top5:.1f} %  "
-          f"(paper, 100 sites: 82.18 / 91.48)")
-    return 0
+    if not args.json:
+        print(f"sites: {args.sites}  attack traces: "
+              f"{result.test_traces}")
+        print(f"RNN top-1: {100 * result.top1:.1f} %  "
+              f"top-5: {100 * result.top5:.1f} %  "
+              f"(paper, 100 sites: 82.18 / 91.48)")
+    return {"experiment": "fingerprint", "results": result}
 
 
-def _cmd_filesize(args: argparse.Namespace) -> int:
+def _cmd_filesize(args: argparse.Namespace) -> dict:
     from .sidechannel import run_filesize_study
 
     study = run_filesize_study(
@@ -192,10 +241,31 @@ def _cmd_filesize(args: argparse.Namespace) -> int:
         trials=args.trials,
         seed=args.seed,
     )
-    print(f"file-size profiling at 300 KB granularity over "
-          f"{len(study.runs)} runs: {100 * study.accuracy:.1f} % "
-          "(paper: > 99 %)")
-    return 0
+    if not args.json:
+        print(f"file-size profiling at 300 KB granularity over "
+              f"{len(study.runs)} runs: {100 * study.accuracy:.1f} % "
+              "(paper: > 99 %)")
+    return {
+        "experiment": "filesize",
+        "results": {"accuracy": study.accuracy, "study": study},
+    }
+
+
+def _add_telemetry_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="append the run manifest (metrics, config digest, "
+             "timings) as one JSON line to PATH",
+    )
+
+
+def _add_json_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--json", action="store_true",
+        help="emit the run manifest (with results) as JSON on stdout "
+             "instead of the human table",
+    )
+    _add_telemetry_flag(subparser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -210,6 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default 1 or $REPRO_WORKERS; 0 = all "
                              "CPUs; results are identical for every "
                              "value)")
+    parser.set_defaults(json=False, telemetry=None)
     commands = parser.add_subparsers(dest="command", required=True)
 
     transmit = commands.add_parser(
@@ -221,11 +292,13 @@ def build_parser() -> argparse.ArgumentParser:
     transmit.add_argument("--traffic", action="store_true",
                           help="drive with the traffic loop instead "
                                "of the stalling loop")
+    _add_telemetry_flag(transmit)
     transmit.set_defaults(handler=_cmd_transmit)
 
     characterize = commands.add_parser(
         "characterize", help="the Figure 3 frequency matrix (excerpt)"
     )
+    _add_telemetry_flag(characterize)
     characterize.set_defaults(handler=_cmd_characterize)
 
     capacity = commands.add_parser(
@@ -233,6 +306,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     capacity.add_argument("--bits", type=int, default=150)
     capacity.add_argument("--cross-processor", action="store_true")
+    capacity.add_argument("--intervals", type=float, nargs="+",
+                          metavar="MS", default=None,
+                          help="interval lengths (ms) to sweep "
+                               "(default: the Figure 10 grid)")
+    _add_json_flag(capacity)
     capacity.set_defaults(handler=_cmd_capacity)
 
     stress = commands.add_parser(
@@ -240,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stress.add_argument("--threads", type=int, default=9)
     stress.add_argument("--bits", type=int, default=100)
+    _add_json_flag(stress)
     stress.set_defaults(handler=_cmd_stress)
 
     defenses = commands.add_parser(
@@ -248,6 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
     defenses.add_argument("--bits", type=int, default=60)
     defenses.add_argument("--energy", action="store_true",
                           help="also run the energy-overhead study")
+    _add_json_flag(defenses)
     defenses.set_defaults(handler=_cmd_defenses)
 
     fingerprint = commands.add_parser(
@@ -255,6 +335,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fingerprint.add_argument("--sites", type=int, default=16)
     fingerprint.add_argument("--trace-ms", type=float, default=5000.0)
+    _add_json_flag(fingerprint)
     fingerprint.set_defaults(handler=_cmd_fingerprint)
 
     filesize = commands.add_parser(
@@ -262,6 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     filesize.add_argument("--steps", type=int, default=8)
     filesize.add_argument("--trials", type=int, default=2)
+    _add_json_flag(filesize)
     filesize.set_defaults(handler=_cmd_filesize)
 
     return parser
@@ -269,7 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
-    from .config import RunnerConfig
+    from .config import RunnerConfig, default_platform_config
     from .errors import ConfigError
 
     args = build_parser().parse_args(argv)
@@ -280,7 +362,33 @@ def main(argv: list[str] | None = None) -> int:
             args.workers = RunnerConfig.from_env().workers
         else:
             RunnerConfig(workers=args.workers).validate()
-        return args.handler(args)
+
+        if not (args.telemetry or args.json):
+            args.handler(args)
+            return 0
+
+        from .analysis.export import manifest_to_json, write_manifest
+        from .telemetry import MetricsRegistry, build_manifest, using
+
+        registry = MetricsRegistry()
+        start = time.perf_counter()
+        with using(registry):
+            payload = args.handler(args)
+        wall_time_s = time.perf_counter() - start
+        manifest = build_manifest(
+            payload["experiment"],
+            registry=registry,
+            seed=args.seed,
+            workers=args.workers,
+            platform=default_platform_config(),
+            wall_time_s=wall_time_s,
+            results=payload["results"],
+        )
+        if args.telemetry:
+            write_manifest(args.telemetry, manifest)
+        if args.json:
+            print(manifest_to_json(manifest))
+        return 0
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

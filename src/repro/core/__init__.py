@@ -12,16 +12,25 @@ Public surface:
 * :class:`UncoreFrequencyProbe` — the unprivileged frequency sensor.
 * :class:`UFSender` / :class:`UFReceiver` — the two channel endpoints.
 * :class:`UFVariationChannel` — wiring + Algorithm 1 transmission.
-* :func:`capacity_sweep` — the Figure 10 evaluation.
+* :class:`ExperimentContext` — the shared platform/seed/workers bundle
+  every experiment runner accepts.
+* :func:`capacity_sweep` — the Figure 10 evaluation, returning a
+  :class:`SweepResult`.
 * :func:`capacity_under_stress` — the Table 2 reliability study.
 """
 
+from .context import ExperimentContext
 from .protocol import ChannelConfig, ChannelEndpoints, decode_bit
 from .probe import UncoreFrequencyProbe
 from .sender import SenderMode, UFSender
 from .receiver import UFReceiver
 from .channel import TransmissionResult, UFVariationChannel
-from .evaluation import CapacityPoint, capacity_sweep
+from .evaluation import (
+    CapacityPoint,
+    SweepResult,
+    capacity_sweep,
+    measure_capacity,
+)
 from .reliability import StressCapacityResult, capacity_under_stress
 from .framing import (
     DecodedFrame,
@@ -35,11 +44,13 @@ from .framing import (
 __all__ = [
     "CapacityPoint",
     "DecodedFrame",
+    "ExperimentContext",
     "ReliableTransfer",
     "ChannelConfig",
     "ChannelEndpoints",
     "SenderMode",
     "StressCapacityResult",
+    "SweepResult",
     "TransmissionResult",
     "UFReceiver",
     "UFSender",
@@ -50,6 +61,7 @@ __all__ = [
     "decode_bit",
     "decode_frame",
     "encode_frame",
+    "measure_capacity",
     "send_message",
     "send_message_reliable",
 ]

@@ -14,6 +14,8 @@ from ..analysis.entropy import channel_capacity_bps
 from ..analysis.stats import bit_error_rate
 from ..errors import ChannelError
 from ..platform.system import System
+from ..telemetry.collect import harvest_channel
+from ..telemetry.context import active_registry
 from .protocol import ChannelConfig, calibrate_endpoints
 from .receiver import UFReceiver
 from .sender import SenderMode, UFSender
@@ -95,6 +97,14 @@ class UFVariationChannel:
             endpoints=endpoints,
             domain=receiver_domain,
         )
+        # Lifetime protocol counters (telemetry harvest): plain ints,
+        # always on, never consulted by the protocol itself.
+        self.transmissions = 0
+        self.bits_sent = 0
+        self.bit_errors = 0
+        self.sync_waits = 0
+        self.retransmissions = 0
+        self._telemetry_collected = False
 
     def sync(self) -> None:
         """Align both parties to the shared interval grid.
@@ -106,6 +116,7 @@ class UFVariationChannel:
         interval = self.config.interval_ns
         remainder = self.system.now % interval
         if remainder:
+            self.sync_waits += 1
             self.system.run_for(interval - remainder)
 
     def transmit(self, bits: list[int]) -> TransmissionResult:
@@ -120,14 +131,22 @@ class UFVariationChannel:
             received.append(self.receiver.receive_bit())
         # Leave the uncore decaying, not pinned, after the message.
         self.sender.drive(0)
-        return TransmissionResult(
+        result = TransmissionResult(
             sent=tuple(bits),
             received=tuple(received),
             interval_ns=self.config.interval_ns,
             duration_ns=self.system.now - start,
         )
+        self.transmissions += 1
+        self.bits_sent += len(bits)
+        self.bit_errors += result.bit_errors
+        return result
 
     def shutdown(self) -> None:
-        """Release both endpoints' cores."""
+        """Release both endpoints' cores (and harvest telemetry)."""
         self.sender.shutdown()
         self.receiver.shutdown()
+        registry = active_registry()
+        if registry is not None and not self._telemetry_collected:
+            self._telemetry_collected = True
+            harvest_channel(self, registry)

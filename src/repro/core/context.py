@@ -1,0 +1,81 @@
+"""The shared experiment-context bundle.
+
+Every public experiment runner accepts the same keyword trio —
+``platform=``, ``seed=``, ``workers=`` — and, equivalently, a single
+``context=ExperimentContext(...)`` bundling them.  The bundle exists so
+runner signatures stop drifting: a new runner takes ``context=`` plus
+the trio and resolves them through :meth:`ExperimentContext.coalesce`.
+
+Resolution rule: an explicit ``context`` wins wholesale (its three
+fields replace the trio); otherwise the trio builds a fresh context.
+Mixing both in one call is ambiguous and raises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import PlatformConfig
+from ..errors import ConfigError
+
+__all__ = ["ExperimentContext"]
+
+# Trio defaults, used both here and to detect "caller left the trio
+# untouched" when a context is passed alongside it.
+_DEFAULT_SEED = 0
+_DEFAULT_WORKERS: int | None = 1
+
+
+@dataclass(frozen=True)
+class ExperimentContext:
+    """How an experiment runs: platform, seed and process fan-out.
+
+    * ``platform`` — the simulated hardware (``None`` = the paper's
+      Table 1 dual-socket default);
+    * ``seed`` — the experiment seed every trial's streams derive from;
+    * ``workers`` — process fan-out for independent trials (``None``/
+      ``0`` = all CPUs); never changes results, only wall time.
+    """
+
+    platform: PlatformConfig | None = None
+    seed: int = _DEFAULT_SEED
+    workers: int | None = _DEFAULT_WORKERS
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on a nonsensical context."""
+        if self.workers is not None and self.workers < 0:
+            raise ConfigError(
+                f"workers must be >= 0 (0 = all CPUs), got {self.workers}"
+            )
+
+    @classmethod
+    def coalesce(
+        cls,
+        context: "ExperimentContext | None",
+        *,
+        platform: PlatformConfig | None = None,
+        seed: int = _DEFAULT_SEED,
+        workers: int | None = _DEFAULT_WORKERS,
+    ) -> "ExperimentContext":
+        """Resolve ``context=`` against the keyword trio.
+
+        An explicit context replaces the trio wholesale.  Passing a
+        context *and* non-default trio values in one call is rejected —
+        silently preferring one over the other would hide a bug at the
+        call site.
+        """
+        if context is not None:
+            if (
+                platform is not None
+                or seed != _DEFAULT_SEED
+                or workers != _DEFAULT_WORKERS
+            ):
+                raise ConfigError(
+                    "pass either context= or the platform/seed/workers "
+                    "trio, not both"
+                )
+            context.validate()
+            return context
+        resolved = cls(platform=platform, seed=seed, workers=workers)
+        resolved.validate()
+        return resolved

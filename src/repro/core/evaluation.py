@@ -7,7 +7,10 @@ capacity.  Run in both the cross-core and cross-processor deployments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+import warnings
+from collections.abc import Iterable, Iterator
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
@@ -17,6 +20,7 @@ from ..platform.system import System
 from ..rng import child_rng
 from ..units import ms
 from .channel import UFVariationChannel
+from .context import ExperimentContext
 from .protocol import ChannelConfig
 from .sender import SenderMode
 
@@ -37,6 +41,54 @@ class CapacityPoint:
     bits: int
 
 
+@dataclass(frozen=True)
+class SweepResult:
+    """A finished capacity sweep: the points plus their headline math.
+
+    Iterates and indexes like the plain list older code handled —
+    ``for p in sweep``, ``sweep[0]``, ``len(sweep)`` all work — while
+    carrying the summary methods that used to float free as
+    ``peak_capacity`` / ``summarize_sweep``.
+    """
+
+    points: tuple[CapacityPoint, ...]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __getitem__(self, index):
+        return self.points[index]
+
+    def __iter__(self) -> Iterator[CapacityPoint]:
+        return iter(self.points)
+
+    def peak(self) -> CapacityPoint:
+        """The point with the highest capacity (the reported number)."""
+        if not self.points:
+            raise ValueError("empty sweep")
+        return max(self.points, key=lambda p: p.capacity_bps)
+
+    def summarize(self) -> dict[str, float]:
+        """Headline numbers: peak capacity and its operating point."""
+        best = self.peak()
+        return {
+            "peak_capacity_bps": best.capacity_bps,
+            "peak_raw_rate_bps": best.raw_rate_bps,
+            "peak_interval_ms": best.interval_ms,
+            "peak_error_rate": best.error_rate,
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """Points plus summary as a JSON document."""
+        return json.dumps(
+            {
+                "points": [asdict(p) for p in self.points],
+                "summary": self.summarize(),
+            },
+            indent=indent,
+        )
+
+
 def random_bits(count: int, seed: int, label: str = "payload") -> list[int]:
     """A reproducible random payload."""
     rng = child_rng(seed, label)
@@ -50,10 +102,20 @@ def measure_capacity(
     cross_processor: bool = False,
     seed: int = 0,
     platform: PlatformConfig | None = None,
+    workers: int | None = 1,
+    context: ExperimentContext | None = None,
     sender_mode: SenderMode = SenderMode.STALL,
 ) -> CapacityPoint:
-    """Deploy a fresh channel and measure one capacity point."""
-    system = System(platform, seed=seed)
+    """Deploy a fresh channel and measure one capacity point.
+
+    A single deployment has nothing to fan out, so ``workers`` is
+    accepted for signature uniformity but unused.
+    """
+    ctx = ExperimentContext.coalesce(
+        context, platform=platform, seed=seed, workers=workers
+    )
+    seed = ctx.seed
+    system = System(ctx.platform, seed=seed)
     config = ChannelConfig(interval_ns=ms(interval_ms))
     receiver_socket = 1 if cross_processor else 0
     channel = UFVariationChannel(
@@ -86,59 +148,78 @@ def capacity_sweep(
     seed: int = 0,
     platform: PlatformConfig | None = None,
     workers: int | None = 1,
-) -> list[CapacityPoint]:
+    context: ExperimentContext | None = None,
+) -> SweepResult:
     """The Figure 10 sweep for one deployment.
 
     Each sweep point deploys its own freshly-seeded system, so the
     points are independent trials: ``workers > 1`` fans them out across
-    processes and returns the exact same :class:`CapacityPoint` list a
-    serial run produces, in interval order.
+    processes and returns the exact same :class:`SweepResult` a serial
+    run produces, in interval order.
     """
+    ctx = ExperimentContext.coalesce(
+        context, platform=platform, seed=seed, workers=workers
+    )
     trials = [
         Trial(measure_capacity, dict(
             interval_ms=interval,
             bits=bits,
             cross_processor=cross_processor,
-            seed=seed,
-            platform=platform,
+            seed=ctx.seed,
+            platform=ctx.platform,
         ))
         for interval in intervals_ms
     ]
-    return run_trials(trials, workers=workers)
+    return SweepResult(
+        points=tuple(run_trials(trials, workers=ctx.workers))
+    )
 
 
-def peak_capacity(points: list[CapacityPoint]) -> CapacityPoint:
-    """The sweep point with the highest capacity (the reported number)."""
-    if not points:
-        raise ValueError("empty sweep")
-    return max(points, key=lambda p: p.capacity_bps)
+def peak_capacity(points: Iterable[CapacityPoint]) -> CapacityPoint:
+    """Deprecated: use :meth:`SweepResult.peak` instead."""
+    warnings.warn(
+        "peak_capacity() is deprecated; use SweepResult.peak()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return SweepResult(points=tuple(points)).peak()
 
 
-def summarize_sweep(points: list[CapacityPoint]) -> dict[str, float]:
-    """Headline numbers of a sweep (peak capacity and its raw rate)."""
-    best = peak_capacity(points)
-    return {
-        "peak_capacity_bps": best.capacity_bps,
-        "peak_raw_rate_bps": best.raw_rate_bps,
-        "peak_interval_ms": best.interval_ms,
-        "peak_error_rate": best.error_rate,
-    }
+def summarize_sweep(points: Iterable[CapacityPoint]) -> dict[str, float]:
+    """Deprecated: use :meth:`SweepResult.summarize` instead."""
+    warnings.warn(
+        "summarize_sweep() is deprecated; use SweepResult.summarize()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return SweepResult(points=tuple(points)).summarize()
 
 
 def mean_error_over_seeds(interval_ms: float, *, bits: int = 80,
                           seeds: tuple[int, ...] = (0, 1, 2),
                           cross_processor: bool = False,
-                          workers: int | None = 1) -> float:
-    """Average BER across seeds (smooths single-run variance)."""
+                          platform: PlatformConfig | None = None,
+                          workers: int | None = 1,
+                          context: ExperimentContext | None = None,
+                          ) -> float:
+    """Average BER across seeds (smooths single-run variance).
+
+    The per-trial seeds come from ``seeds``; a ``context.seed`` (or the
+    ``seed=`` trio member) is not meaningful here and is ignored.
+    """
+    ctx = ExperimentContext.coalesce(
+        context, platform=platform, workers=workers
+    )
     trials = [
         Trial(measure_capacity, dict(
             interval_ms=interval_ms,
             bits=bits,
             cross_processor=cross_processor,
             seed=seed,
+            platform=ctx.platform,
         ))
         for seed in seeds
     ]
     errors = [point.error_rate
-              for point in run_trials(trials, workers=workers)]
+              for point in run_trials(trials, workers=ctx.workers)]
     return float(np.mean(errors))

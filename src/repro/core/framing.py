@@ -291,6 +291,10 @@ def send_message_reliable(channel, payload: bytes, *,
         raise ChannelError("need at least one attempt")
     frame = None
     for attempt in range(1, max_attempts + 1):
+        if attempt > 1 and hasattr(channel, "retransmissions"):
+            # Telemetry: the channel counts ARQ retries when it keeps a
+            # counter (UF-variation does; baseline channels may not).
+            channel.retransmissions += 1
         # Each attempt is scrambled differently so alignment-dependent
         # error positions do not repeat across retries.
         frame = send_message(channel, payload, scramble_seed=attempt)

@@ -9,10 +9,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..config import PlatformConfig
+from ..engine.parallel import Trial, run_trials
 from ..platform.system import System
 from ..units import ms
 from ..workloads.stressor import launch_stressor_threads
 from .channel import UFVariationChannel
+from .context import ExperimentContext
 from .evaluation import random_bits
 from .protocol import ChannelConfig
 from .sender import SenderMode
@@ -34,6 +37,9 @@ def capacity_under_stress(
     bits: int = 120,
     interval_ms: float = 60.0,
     seed: int = 0,
+    platform: PlatformConfig | None = None,
+    workers: int | None = 1,
+    context: ExperimentContext | None = None,
     sender_mode: SenderMode = SenderMode.STALL,
     sender_cores: tuple[int, ...] = (0, 1, 2, 3, 4, 5),
 ) -> StressCapacityResult:
@@ -44,8 +50,16 @@ def capacity_under_stress(
     over 1/3 active cores are stalled") so the active-core dilution from
     the stressor threads cannot mask a "1".  The remaining errors come
     from stressor phases that pin the uncore at freq_max during "0"s.
+
+    One cell is a single deployment, so ``workers`` is accepted for
+    signature uniformity but unused (see :func:`stress_table` for the
+    fanned-out study).
     """
-    system = System(seed=seed)
+    ctx = ExperimentContext.coalesce(
+        context, platform=platform, seed=seed, workers=workers
+    )
+    seed = ctx.seed
+    system = System(ctx.platform, seed=seed)
     config = ChannelConfig(interval_ns=ms(interval_ms))
     channel = UFVariationChannel(
         system,
@@ -81,11 +95,27 @@ def stress_table(
     bits: int = 120,
     interval_ms: float = 60.0,
     seed: int = 0,
+    platform: PlatformConfig | None = None,
+    workers: int | None = 1,
+    context: ExperimentContext | None = None,
 ) -> list[StressCapacityResult]:
-    """The full Table 2 row: N = 1 .. max_threads."""
-    return [
-        capacity_under_stress(
-            n, bits=bits, interval_ms=interval_ms, seed=seed
-        )
+    """The full Table 2 row: N = 1 .. max_threads.
+
+    Every cell deploys its own seeded system, so the cells are
+    independent trials: ``workers > 1`` fans them out across processes
+    and returns the same list a serial run produces, in N order.
+    """
+    ctx = ExperimentContext.coalesce(
+        context, platform=platform, seed=seed, workers=workers
+    )
+    trials = [
+        Trial(capacity_under_stress, dict(
+            stress_threads=n,
+            bits=bits,
+            interval_ms=interval_ms,
+            seed=ctx.seed,
+            platform=ctx.platform,
+        ))
         for n in range(1, max_threads + 1)
     ]
+    return run_trials(trials, workers=ctx.workers)

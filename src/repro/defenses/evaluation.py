@@ -15,10 +15,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..config import default_platform_config
+from ..config import PlatformConfig, default_platform_config
 from ..core.channel import UFVariationChannel
+from ..core.context import ExperimentContext
 from ..core.evaluation import random_bits
 from ..core.protocol import ChannelConfig
+from ..engine.parallel import Trial, run_trials
 from ..platform.system import System
 from ..units import ms, seconds
 from ..workloads.analytics import AnalyticsWorkload
@@ -56,9 +58,16 @@ class DefenseReport:
 
 def channel_under_defense(defense: str, *, bits: int = 80,
                           interval_ms: float = 38.0,
-                          seed: int = 0) -> DefenseReport:
-    """Deploy UF-variation against one active countermeasure."""
-    platform = default_platform_config()
+                          seed: int = 0,
+                          platform: PlatformConfig | None = None,
+                          ) -> DefenseReport:
+    """Deploy UF-variation against one active countermeasure.
+
+    ``platform`` overrides the base platform the defense modifies
+    (default: the paper's Table 1 system).
+    """
+    if platform is None:
+        platform = default_platform_config()
     if defense == "restricted_1500_1700":
         # A narrowed window is part of the pre-agreed calibration: the
         # attacker knows the platform policy (Kerckhoffs).
@@ -108,12 +117,30 @@ def channel_under_defense(defense: str, *, bits: int = 80,
 
 def evaluate_defenses(*, bits: int = 80, seed: int = 0,
                       defenses: tuple[str, ...] = DEFENSE_KEYS,
+                      platform: PlatformConfig | None = None,
+                      workers: int | None = 1,
+                      context: ExperimentContext | None = None,
                       ) -> list[DefenseReport]:
-    """UF-variation under every countermeasure."""
-    return [
-        channel_under_defense(defense, bits=bits, seed=seed)
+    """UF-variation under every countermeasure.
+
+    Each defense deploys its own seeded system, so the reports are
+    independent trials: ``workers > 1`` evaluates them in parallel
+    processes and still returns them in ``defenses`` order,
+    bit-identical to the serial run.
+    """
+    ctx = ExperimentContext.coalesce(
+        context, platform=platform, seed=seed, workers=workers
+    )
+    trials = [
+        Trial(channel_under_defense, dict(
+            defense=defense,
+            bits=bits,
+            seed=ctx.seed,
+            platform=ctx.platform,
+        ))
         for defense in defenses
     ]
+    return run_trials(trials, workers=ctx.workers)
 
 
 @dataclass(frozen=True)

@@ -28,6 +28,8 @@ from typing import Any
 
 from ..errors import ConfigError
 from ..rng import child_rng, derive_seed
+from ..telemetry.context import active_registry, using
+from ..telemetry.registry import MetricsRegistry
 
 __all__ = [
     "Trial",
@@ -87,6 +89,20 @@ def _invoke(trial: Trial) -> Any:
     return trial()
 
 
+def _invoke_instrumented(trial: Trial) -> tuple[Any, dict]:
+    """Run one trial under a fresh registry; return (result, snapshot).
+
+    Used whenever the *caller* has a registry active: every trial —
+    inline or pooled — collects into its own private registry, and the
+    caller merges the deterministic snapshots in submission order.
+    Serial and parallel runs therefore aggregate identically.
+    """
+    registry = MetricsRegistry()
+    with using(registry):
+        result = trial()
+    return result, registry.deterministic_snapshot()
+
+
 def run_trials(trials: Sequence[Trial] | Iterable[Trial], *,
                workers: int | None = 1) -> list[Any]:
     """Run every trial and return the results in submission order.
@@ -97,13 +113,35 @@ def run_trials(trials: Sequence[Trial] | Iterable[Trial], *,
     trial carries its own derived seed and ``ProcessPoolExecutor.map``
     preserves input order, the returned list is bit-identical for every
     worker count.
+
+    When a telemetry registry is active in the calling process, each
+    trial runs under its own per-trial registry and the per-trial
+    snapshots are merged into the caller's registry in submission
+    order — so the aggregated metrics, like the results, are identical
+    for every worker count.
     """
     trials = list(trials)
     count = resolve_workers(workers)
+    parent = active_registry()
+    if parent is None:
+        if count <= 1 or len(trials) <= 1:
+            return [trial() for trial in trials]
+        with ProcessPoolExecutor(
+            max_workers=min(count, len(trials))
+        ) as pool:
+            return list(pool.map(_invoke, trials))
     if count <= 1 or len(trials) <= 1:
-        return [trial() for trial in trials]
-    with ProcessPoolExecutor(max_workers=min(count, len(trials))) as pool:
-        return list(pool.map(_invoke, trials))
+        pairs = [_invoke_instrumented(trial) for trial in trials]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(count, len(trials))
+        ) as pool:
+            pairs = list(pool.map(_invoke_instrumented, trials))
+    results = []
+    for result, snapshot in pairs:
+        parent.merge_snapshot(snapshot)
+        results.append(result)
+    return results
 
 
 def map_trials(func: Callable[..., Any],

@@ -98,6 +98,8 @@ class Engine:
         self._events_fired: int = 0
         self._live: int = 0   # scheduled, not yet fired or cancelled
         self._dead: int = 0   # tombstones still sitting in the heap
+        self._cancelled_total: int = 0
+        self._compactions: int = 0
 
     @property
     def now(self) -> int:
@@ -108,6 +110,21 @@ class Engine:
     def events_fired(self) -> int:
         """Total number of callbacks executed so far."""
         return self._events_fired
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total schedule/reschedule calls (the sequence counter)."""
+        return self._sequence
+
+    @property
+    def events_cancelled(self) -> int:
+        """Total events tombstoned over the engine's lifetime."""
+        return self._cancelled_total
+
+    @property
+    def compactions(self) -> int:
+        """Times the heap was rebuilt to shed tombstones."""
+        return self._compactions
 
     @property
     def pending(self) -> int:
@@ -181,6 +198,7 @@ class Engine:
         dead outnumber the living."""
         self._live -= 1
         self._dead += 1
+        self._cancelled_total += 1
         if self._dead >= COMPACT_MIN_DEAD and self._dead > self._live:
             self._compact()
 
@@ -192,6 +210,7 @@ class Engine:
         queue[:] = [entry for entry in queue if entry[2]._state != _CANCELLED]
         _heapify(queue)
         self._dead = 0
+        self._compactions += 1
 
     def step(self) -> bool:
         """Fire the single next event.  Returns False when none remain."""

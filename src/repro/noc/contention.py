@@ -37,12 +37,17 @@ class ContentionTracker:
     time_multiplexed: bool = False
     _flows: dict[int, Flow] = field(default_factory=dict)
     _next_id: int = 0
+    # Lifetime counters read by the telemetry harvest.
+    flows_registered: int = 0
+    rate_updates: int = 0
+    contention_queries: int = 0
 
     def add_flow(self, links: list[Link], rate_per_us: float,
                  domain: int = 0) -> int:
         """Register a flow; returns its id for later removal."""
         flow_id = self._next_id
         self._next_id += 1
+        self.flows_registered += 1
         self._flows[flow_id] = Flow(flow_id, tuple(links), rate_per_us,
                                     domain)
         return flow_id
@@ -53,6 +58,7 @@ class ContentionTracker:
 
     def update_rate(self, flow_id: int, rate_per_us: float) -> None:
         """Change the traffic rate of an existing flow."""
+        self.rate_updates += 1
         flow = self._flows[flow_id]
         self._flows[flow_id] = Flow(flow.flow_id, flow.links, rate_per_us,
                                     flow.domain)
@@ -86,6 +92,7 @@ class ContentionTracker:
         The bottleneck link dominates observed slowdown, so the maximum
         (not the sum) is the right aggregate.
         """
+        self.contention_queries += 1
         if not links:
             return 0.0
         return max(

@@ -63,6 +63,10 @@ class MeshTopology:
             for coord, tile in self._tiles.items()
             if tile.kind is TileKind.CORE
         }
+        # Lifetime counters read by the telemetry harvest.
+        self.hop_queries = 0
+        self.hops_traversed = 0
+        self.route_queries = 0
 
     @property
     def num_cores(self) -> int:
@@ -88,7 +92,10 @@ class MeshTopology:
         """Manhattan hop count between a core and an LLC slice."""
         (r1, c1) = self.core_coord(core_id)
         (r2, c2) = self.slice_coord(slice_id)
-        return abs(r1 - r2) + abs(c1 - c2)
+        distance = abs(r1 - r2) + abs(c1 - c2)
+        self.hop_queries += 1
+        self.hops_traversed += distance
+        return distance
 
     def slices_at_distance(self, core_id: int, hops: int) -> list[int]:
         """All slice ids exactly ``hops`` away from ``core_id``.
@@ -133,6 +140,7 @@ class MeshTopology:
         paths are disjoint, modelling the slice's bounded request
         bandwidth.
         """
+        self.route_queries += 1
         links: list = self.route(self.core_coord(core_id),
                                  self.slice_coord(slice_id))
         links.append(("ingress", self.slice_coord(slice_id)))

@@ -18,6 +18,8 @@ from ..errors import ConfigError
 from ..mem.allocator import AddressSpace, PhysicalMemory
 from ..power.energy import EnergyMeter
 from ..rng import SeedSequenceNamer
+from ..telemetry.collect import harvest_system
+from ..telemetry.context import active_registry
 from ..units import MS
 from .actor import Actor
 from .latency import LatencyModel
@@ -110,6 +112,7 @@ class System:
                 socket.contention.time_multiplexed = True
             self.sockets.append(socket)
         self._workloads: dict[str, object] = {}
+        self._telemetry_collected = False
 
     def _remote_frequency_fn(self, socket_id: int):
         def remote_frequency() -> int:
@@ -236,8 +239,17 @@ class System:
     # -- shutdown -----------------------------------------------------------------
 
     def stop(self) -> None:
-        """Stop all periodic machinery (end of experiment)."""
+        """Stop all periodic machinery (end of experiment).
+
+        If a telemetry registry is active, the platform's lifetime
+        counters are harvested into it exactly once — harvesting is
+        read-only, so results are unchanged with telemetry on or off.
+        """
         for workload in list(self._workloads.values()):
             self.terminate(workload)
         for socket in self.sockets:
             socket.pmu.stop()
+        registry = active_registry()
+        if registry is not None and not self._telemetry_collected:
+            self._telemetry_collected = True
+            harvest_system(self, registry)

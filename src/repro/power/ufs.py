@@ -132,6 +132,12 @@ class UfsPmu:
         self._last_eval_ns = engine.now
         self.snapshots: list[SocketSnapshot] = []
         self.keep_snapshots = False
+        # Lifetime decision counters (telemetry harvest, Section 3.5's
+        # observable control-law behaviour): plain ints, always on.
+        self.evaluations = 0
+        self.turbo_pins = 0
+        self.stall_pins = 0
+        self.decrease_vetoes = 0
         self._task = PeriodicTask(
             engine,
             ufs_config.period_ns,
@@ -252,6 +258,7 @@ class UfsPmu:
         # dynamic scaling: the uncore "consistently stays at the
         # maximum frequency" (Section 2.2.1) — a snap, not a ramp.
         if turbo_active:
+            self.turbo_pins += 1
             self.timeline.set_frequency(now, self.max_limit_mhz)
             self._slow_step_countdown = 0
             self._record(now, active, stalled, llc_rate, noc_score,
@@ -290,6 +297,7 @@ class UfsPmu:
                 target < self.current_mhz
                 and max_stall > self.config.decrease_veto_stall_ratio
             ):
+                self.decrease_vetoes += 1
                 target = self.current_mhz
         else:
             # Fast stepping only when heading for the ceiling (heavy
@@ -324,6 +332,9 @@ class UfsPmu:
     def _record(self, now: int, active: int, stalled: int, llc: float,
                 noc: float, stall_rule: bool, target: int,
                 heavy: bool) -> None:
+        self.evaluations += 1
+        if stall_rule:
+            self.stall_pins += 1
         if self.keep_snapshots:
             self.snapshots.append(
                 SocketSnapshot(

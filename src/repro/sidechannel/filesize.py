@@ -20,6 +20,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..config import PlatformConfig
+from ..core.context import ExperimentContext
 from ..platform.system import System
 from ..workloads.compression import CompressionVictim
 from .methodology import UfsAttacker
@@ -100,14 +102,26 @@ def run_filesize_study(
     trials: int = 2,
     granularity_kb: float = 300.0,
     seed: int = 0,
+    platform: PlatformConfig | None = None,
+    workers: int | None = 1,
+    context: ExperimentContext | None = None,
 ) -> FileSizeStudy:
     """The Figure 11 experiment.
 
     Phase 1 (calibration): run each known size a few times and record
     the mean busy metric.  Phase 2 (attack): profile fresh runs and
     classify each to the calibrated size with the nearest metric.
+
+    The calibration baselines and the attack runs share one long-lived
+    system (the attacker's helpers stay resident), so there is nothing
+    to fan out: ``workers`` is accepted for signature uniformity but
+    unused.
     """
-    system = System(seed=seed)
+    ctx = ExperimentContext.coalesce(
+        context, platform=platform, seed=seed, workers=workers
+    )
+    seed = ctx.seed
+    system = System(ctx.platform, seed=seed)
     attacker = UfsAttacker(system)
     attacker.settle()
     profiler = FileSizeProfiler(system, attacker)

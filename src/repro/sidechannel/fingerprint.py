@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..analysis.stats import top_k_accuracy
+from ..core.context import ExperimentContext
 from ..engine.parallel import Trial, resolve_workers, run_trials
 from ..platform.system import System
 from ..rng import derive_seed
@@ -100,6 +101,7 @@ def collect_dataset(
     victim_core: int = 5,
     platform=None,
     workers: int | None = 1,
+    context: ExperimentContext | None = None,
     per_site_systems: bool | None = None,
 ) -> FingerprintDataset:
     """Run the attacker against victim visits to every site.
@@ -119,6 +121,10 @@ def collect_dataset(
     *different* (equally valid) dataset than the long-lived-campaign
     one, since the attacker state no longer carries across sites.
     """
+    ctx = ExperimentContext.coalesce(
+        context, platform=platform, seed=seed, workers=workers
+    )
+    platform, seed, workers = ctx.platform, ctx.seed, ctx.workers
     if per_site_systems is None:
         per_site_systems = resolve_workers(workers) > 1
     if per_site_systems:

@@ -1,0 +1,50 @@
+"""The ambient telemetry registry.
+
+Instrumented layers (the engine, the PMU, channels) harvest into
+whatever registry is *active* when they tear down.  The active registry
+is a module-global rather than a threaded-through parameter so that
+telemetry stays opt-in: with no registry activated, instrumented code
+pays only a handful of integer increments and harvest becomes a no-op.
+
+``using(registry)`` scopes activation; :func:`activate` /
+:func:`deactivate` manage it imperatively (the CLI and the parallel
+runner's worker shim use those).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .registry import MetricsRegistry
+
+__all__ = ["activate", "active_registry", "deactivate", "using"]
+
+_active: MetricsRegistry | None = None
+
+
+def active_registry() -> MetricsRegistry | None:
+    """The currently active registry, or ``None`` when telemetry is off."""
+    return _active
+
+
+def activate(registry: MetricsRegistry | None) -> MetricsRegistry | None:
+    """Make ``registry`` the ambient registry; returns the previous one."""
+    global _active
+    previous = _active
+    _active = registry
+    return previous
+
+
+def deactivate() -> None:
+    """Turn ambient telemetry off."""
+    activate(None)
+
+
+@contextmanager
+def using(registry: MetricsRegistry):
+    """Activate ``registry`` for the duration of a ``with`` block."""
+    previous = activate(registry)
+    try:
+        yield registry
+    finally:
+        activate(previous)

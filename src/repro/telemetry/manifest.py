@@ -1,0 +1,75 @@
+"""Run manifests: one machine-readable record per experiment run.
+
+A manifest answers "what ran, with what configuration, and what did it
+cost": experiment name, seed, worker count, a digest of the platform
+configuration, wall time, total simulated time and the full metric
+snapshot.  The CLI writes one JSONL record per run via
+:func:`repro.analysis.export.write_manifest` (``--telemetry PATH``) and
+prints the same record in ``--json`` mode.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from .registry import MetricsRegistry
+
+__all__ = ["RunManifest", "build_manifest", "config_digest"]
+
+
+def config_digest(config) -> str | None:
+    """A short stable digest of a (frozen, repr-stable) configuration.
+
+    Frozen dataclasses repr deterministically, so two runs share a
+    digest exactly when they share a platform configuration.
+    """
+    if config is None:
+        return None
+    return hashlib.sha256(repr(config).encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """The machine-readable record of one experiment run."""
+
+    experiment: str
+    seed: int | None
+    workers: int | None
+    config_digest: str | None
+    wall_time_s: float
+    simulated_ns: int
+    metrics: dict
+    results: object = None
+
+
+def build_manifest(
+    experiment: str,
+    *,
+    registry: MetricsRegistry,
+    seed: int | None = None,
+    workers: int | None = None,
+    platform=None,
+    wall_time_s: float = 0.0,
+    results=None,
+) -> RunManifest:
+    """Assemble a manifest from a finished run's registry.
+
+    ``simulated_ns`` is read from the ``engine.simulated_ns`` counter —
+    harvested at each ``System.stop()`` and summed across trials, it is
+    the total simulated time the run consumed across all systems.
+    """
+    snapshot = registry.snapshot()
+    simulated_ns = int(
+        snapshot["counters"].get("engine.simulated_ns", 0)
+    )
+    return RunManifest(
+        experiment=experiment,
+        seed=seed,
+        workers=workers,
+        config_digest=config_digest(platform),
+        wall_time_s=wall_time_s,
+        simulated_ns=simulated_ns,
+        metrics=snapshot,
+        results=results,
+    )

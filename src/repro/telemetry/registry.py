@@ -1,0 +1,272 @@
+"""The metrics registry: counters, gauges, histograms and spans.
+
+Zero-dependency observability primitives for the simulated platform.
+Three rules keep telemetry safe to thread through hot layers:
+
+* **Strictly observational.**  Metrics never touch an RNG, never
+  schedule events and never advance time — with a registry active or
+  not, every experiment result is bit-identical.
+* **Deterministic aggregation.**  Histograms use *fixed* bucket edges
+  declared at creation, counters and histograms merge by addition and
+  gauges by last-write-wins, so merging per-worker snapshots in
+  submission order reproduces the serial run exactly.
+* **Wall time is quarantined.**  Spans (phase timers) are the only
+  wall-clock-dependent metric and live in their own snapshot section;
+  :meth:`MetricsRegistry.deterministic_snapshot` drops them.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from ..errors import ConfigError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+
+class Counter:
+    """A monotonically increasing count (events fired, bits sent...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ConfigError(
+                f"counter {self.name}: negative increment {amount}"
+            )
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A point-in-time value (final frequency, queue depth...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: int | float = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """A distribution over fixed, ascending bucket edges.
+
+    ``edges = (e0, ..., en)`` yields ``n + 2`` buckets: ``(-inf, e0]``,
+    ``(e0, e1]``, ..., ``(en, +inf)``.  Edges are fixed at creation so
+    snapshots from different workers merge bucket-by-bucket without any
+    re-binning — the precondition for deterministic aggregation.
+    """
+
+    __slots__ = ("name", "edges", "counts", "count", "sum")
+
+    def __init__(self, name: str, edges: tuple[float, ...]) -> None:
+        if not edges:
+            raise ConfigError(f"histogram {name}: needs at least one edge")
+        if list(edges) != sorted(edges) or len(set(edges)) != len(edges):
+            raise ConfigError(
+                f"histogram {name}: edges must be strictly ascending"
+            )
+        self.name = name
+        self.edges = tuple(float(e) for e in edges)
+        self.counts = [0] * (len(edges) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def _bucket(self, value: float) -> int:
+        # Linear scan: edge lists are short (frequency points, latency
+        # bands) and observations happen at harvest time, not per event.
+        for index, edge in enumerate(self.edges):
+            if value <= edge:
+                return index
+        return len(self.edges)
+
+    def observe(self, value: float, count: int = 1) -> None:
+        """Record ``count`` observations of ``value``."""
+        if count < 0:
+            raise ConfigError(
+                f"histogram {self.name}: negative count {count}"
+            )
+        if count == 0:
+            return
+        self.counts[self._bucket(value)] += count
+        self.count += count
+        self.sum += float(value) * count
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:.2f}>"
+
+
+class _SpanRecord:
+    __slots__ = ("count", "total_s")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+
+
+class MetricsRegistry:
+    """A namespace of metrics with deterministic snapshot/merge.
+
+    Metric names are dotted strings (``engine.events_fired``,
+    ``ufs.freq_mhz``).  ``counter``/``gauge``/``histogram`` get-or-create
+    by name; registering one name under two different kinds is an error.
+    """
+
+    def __init__(self, *, clock=time.perf_counter) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._spans: dict[str, _SpanRecord] = {}
+        self._clock = clock
+
+    # -- get-or-create --------------------------------------------------------
+
+    def _check_free(self, name: str, kind: str) -> None:
+        for label, table in (("counter", self._counters),
+                             ("gauge", self._gauges),
+                             ("histogram", self._histograms)):
+            if label != kind and name in table:
+                raise ConfigError(
+                    f"metric {name!r} already registered as a {label}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        existing = self._counters.get(name)
+        if existing is not None:
+            return existing
+        self._check_free(name, "counter")
+        created = Counter(name)
+        self._counters[name] = created
+        return created
+
+    def gauge(self, name: str) -> Gauge:
+        existing = self._gauges.get(name)
+        if existing is not None:
+            return existing
+        self._check_free(name, "gauge")
+        created = Gauge(name)
+        self._gauges[name] = created
+        return created
+
+    def histogram(self, name: str,
+                  edges: tuple[float, ...]) -> Histogram:
+        existing = self._histograms.get(name)
+        if existing is not None:
+            if existing.edges != tuple(float(e) for e in edges):
+                raise ConfigError(
+                    f"histogram {name!r} re-registered with different edges"
+                )
+            return existing
+        self._check_free(name, "histogram")
+        created = Histogram(name, edges)
+        self._histograms[name] = created
+        return created
+
+    def inc(self, name: str, amount: int | float = 1) -> None:
+        """Shorthand for ``counter(name).inc(amount)``."""
+        self.counter(name).inc(amount)
+
+    # -- spans ---------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str):
+        """Time a phase in wall-clock seconds.
+
+        Spans are observability for the *runner* (how long did the sweep
+        take), not the simulation, and are excluded from determinism
+        guarantees — see :meth:`deterministic_snapshot`.
+        """
+        start = self._clock()
+        try:
+            yield
+        finally:
+            record = self._spans.setdefault(name, _SpanRecord())
+            record.count += 1
+            record.total_s += self._clock() - start
+
+    # -- snapshot / merge ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A plain-dict, JSON-ready copy of every metric (sorted keys)."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value
+                for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: {
+                    "edges": list(hist.edges),
+                    "counts": list(hist.counts),
+                    "count": hist.count,
+                    "sum": hist.sum,
+                }
+                for name, hist in sorted(self._histograms.items())
+            },
+            "spans": {
+                name: {"count": rec.count, "total_s": rec.total_s}
+                for name, rec in sorted(self._spans.items())
+            },
+        }
+
+    def deterministic_snapshot(self) -> dict:
+        """The snapshot minus the wall-clock ``spans`` section."""
+        snap = self.snapshot()
+        del snap["spans"]
+        return snap
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters and histogram buckets add; gauges take the merged
+        snapshot's value (last write wins); spans add.  Merging worker
+        snapshots in submission order therefore reproduces the serial
+        aggregation exactly.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name, tuple(data["edges"]))
+            for index, count in enumerate(data["counts"]):
+                hist.counts[index] += count
+            hist.count += data["count"]
+            hist.sum += data["sum"]
+        for name, data in snapshot.get("spans", {}).items():
+            record = self._spans.setdefault(name, _SpanRecord())
+            record.count += data["count"]
+            record.total_s += data["total_s"]
+
+    def clear(self) -> None:
+        """Drop every metric (between unrelated runs)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._spans.clear()

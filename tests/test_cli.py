@@ -1,5 +1,7 @@
 """The command-line front end."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -57,3 +59,68 @@ class TestExecution:
         assert code == 0
         assert "restricted_1500_1700" in out
         assert "functional" in out
+
+
+CAPACITY_FAST = ["capacity", "--bits", "8", "--intervals", "28", "24"]
+
+
+class TestTelemetry:
+    def test_json_mode_emits_manifest(self, capsys):
+        code = main(CAPACITY_FAST + ["--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        manifest = json.loads(out)
+        assert manifest["experiment"] == "capacity"
+        counters = manifest["metrics"]["counters"]
+        assert counters["engine.events_fired"] > 0
+        assert counters["ufs.evaluations"] > 0
+        assert counters["cache.loads"] > 0
+        assert len(manifest["results"]["points"]) == 2
+        assert "peak_capacity_bps" in manifest["results"]["summary"]
+
+    def test_json_mode_suppresses_table(self, capsys):
+        code = main(CAPACITY_FAST + ["--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "capacity sweep" not in out  # no human table
+
+    def test_telemetry_appends_jsonl(self, tmp_path, capsys):
+        log = tmp_path / "runs.jsonl"
+        for _ in range(2):
+            assert main(CAPACITY_FAST + ["--telemetry",
+                                         str(log)]) == 0
+        capsys.readouterr()
+        lines = log.read_text().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["config_digest"] == second["config_digest"]
+        assert (first["metrics"]["counters"]
+                == second["metrics"]["counters"])
+
+    def test_results_identical_with_telemetry_on_and_off(self,
+                                                         tmp_path,
+                                                         capsys):
+        from repro.core.evaluation import capacity_sweep
+
+        log = tmp_path / "runs.jsonl"
+        assert main(CAPACITY_FAST + ["--telemetry", str(log),
+                                     "--json"]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        plain = capacity_sweep(intervals_ms=(28.0, 24.0), bits=8,
+                               seed=0)
+        reported = manifest["results"]["points"]
+        assert [p.capacity_bps for p in plain.points] == [
+            p["capacity_bps"] for p in reported
+        ]
+        assert [p.error_rate for p in plain.points] == [
+            p["error_rate"] for p in reported
+        ]
+
+    def test_stress_json_mode(self, capsys):
+        code = main(["stress", "--threads", "1", "--bits", "8",
+                     "--json"])
+        manifest = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert manifest["experiment"] == "stress"
+        assert len(manifest["results"]["cells"]) == 1
+        assert manifest["metrics"]["counters"]["channel.bits_sent"] == 8
