@@ -1,22 +1,25 @@
 #!/usr/bin/env python
-"""Telemetry-overhead smoke gate for CI.
+"""Performance smoke gates for CI.
 
-Runs the engine event-throughput micro-benchmark twice — plain and with
-the telemetry registry active — and fails (exit 1) when either
+Two paired measurements, each with a budget; exit 1 when either fails:
 
-* the telemetry variant's median exceeds the plain variant's median by
-  more than the tolerance (default 5 %): instrumentation has grown a
-  hot-path cost; or
-* the plain variant's median exceeds the recorded baseline median in
-  ``BENCH_baseline.json`` by more than the tolerance *and*
-  ``--against-baseline`` was requested: the substrate itself regressed.
-  (Cross-machine medians are noisy, so the baseline check is opt-in;
-  the paired telemetry-vs-plain check is the default CI gate.)
+* **Telemetry overhead** — the engine event-throughput micro-benchmark
+  plain versus with the telemetry registry active.  The telemetry
+  median must land within the tolerance (default 5 %) of the plain
+  median.  ``--against-baseline`` additionally gates the plain median
+  against ``BENCH_baseline.json`` (cross-machine medians are noisy, so
+  that check is opt-in).
+* **Trace-cache speedup** — the fingerprint smoke study cold (simulate
+  + store) versus warm (served from the trace store).  The warm run
+  must be at least ``--trace-speedup`` (default 10) times faster than
+  the cold run, or the cache has stopped paying for itself.
+  ``--skip-trace-cache`` omits the gate.
 
 Usage::
 
     python benchmarks/check_regression.py [--tolerance 0.05]
         [--against-baseline] [--baseline BENCH_baseline.json]
+        [--trace-speedup 10] [--skip-trace-cache]
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ import json
 import subprocess
 import sys
 import tempfile
+import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -62,6 +66,37 @@ def run_benchmarks() -> dict[str, float]:
     return medians
 
 
+def measure_trace_cache() -> tuple[float, float]:
+    """Wall-time one cold and one warm fingerprint smoke run.
+
+    Uses the same smoke shape as
+    ``benchmarks/bench_trace_io.py::test_perf_fingerprint_cold_vs_warm``
+    so the gate and the tracked benchmark measure the same work.  Both
+    runs happen in this process against a throwaway store; the cold run
+    simulates and records, the warm run must be served entirely from
+    the store.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from bench_trace_io import SMOKE_SHAPE  # noqa: E402
+
+    from repro.sidechannel import collect_dataset  # noqa: E402
+
+    with tempfile.TemporaryDirectory() as tmp:
+        start = time.perf_counter()
+        cold = collect_dataset(**SMOKE_SHAPE, cache_dir=tmp)
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = collect_dataset(**SMOKE_SHAPE, cache_dir=tmp)
+        warm_s = time.perf_counter() - start
+    for a, b in zip(cold.train + cold.test, warm.train + warm.test):
+        if a.label != b.label or list(a.freqs_mhz) != list(b.freqs_mhz):
+            raise SystemExit(
+                "warm trace-cache run diverged from the cold run — "
+                "the determinism contract is broken, not just slow"
+            )
+    return cold_s, warm_s
+
+
 def baseline_median(path: Path) -> float:
     data = json.loads(path.read_text())
     for bench in data["benchmarks"]:
@@ -80,6 +115,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--against-baseline", action="store_true",
                         help="also gate the plain median against the "
                              "recorded baseline (cross-machine: noisy)")
+    parser.add_argument("--trace-speedup", type=float, default=10.0,
+                        help="minimum warm-over-cold trace-cache "
+                             "speedup (default 10)")
+    parser.add_argument("--skip-trace-cache", action="store_true",
+                        help="skip the trace-cache speedup gate")
     args = parser.parse_args(argv)
 
     medians = run_benchmarks()
@@ -105,8 +145,20 @@ def main(argv: list[str] | None = None) -> int:
             print("FAIL: plain throughput regressed vs baseline")
             failed = True
 
+    if not args.skip_trace_cache:
+        cold_s, warm_s = measure_trace_cache()
+        speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+        print(f"trace cache cold:  {cold_s * 1e3:8.1f} ms")
+        print(f"trace cache warm:  {warm_s * 1e3:8.1f} ms")
+        print(f"speedup:           {speedup:8.1f}x "
+              f"(budget >= {args.trace_speedup:.0f}x)")
+        if speedup < args.trace_speedup:
+            print("FAIL: trace-cache hit path is under the speedup "
+                  "budget")
+            failed = True
+
     if not failed:
-        print("OK: telemetry is within the overhead budget")
+        print("OK: all performance budgets met")
     return 1 if failed else 0
 
 

@@ -31,16 +31,19 @@ Layer map (bottom up):
 * :mod:`repro.defenses` — the Section 6.1 countermeasures;
 * :mod:`repro.analysis` — capacity math, statistics, table rendering;
 * :mod:`repro.telemetry` — the observational metrics registry and run
-  manifests.
+  manifests;
+* :mod:`repro.trace` — trace capture, the content-addressed corpus
+  store and deterministic replay.
 
 Import surface: this top-level package re-exports the working set —
 the system (:class:`System`, :class:`PlatformConfig`,
 :func:`default_platform_config`), the channel
 (:class:`UFVariationChannel`, :class:`ChannelConfig`), the uniform
 experiment API (:func:`capacity_sweep` → :class:`SweepResult`,
-:class:`ExperimentContext`) and the telemetry registry
-(:class:`MetricsRegistry`).  Everything else lives one level down in
-its layer module.
+:class:`ExperimentContext`), the telemetry registry
+(:class:`MetricsRegistry`) and the trace store
+(:class:`TraceStore`).  Everything else lives one level down in its
+layer module.
 """
 
 from .config import (
@@ -64,12 +67,14 @@ from .core import (
     capacity_under_stress,
 )
 from .telemetry import MetricsRegistry
+from .trace import TraceStore
 from .errors import (
     ChannelError,
     ConfigError,
     PrerequisiteError,
     PrivilegeError,
     ReproError,
+    TraceError,
 )
 
 __version__ = "1.0.0"
@@ -89,6 +94,8 @@ __all__ = [
     "SenderMode",
     "SweepResult",
     "System",
+    "TraceError",
+    "TraceStore",
     "TransmissionResult",
     "UFReceiver",
     "UFSender",

@@ -6,6 +6,7 @@ from .export import (
     append_jsonl,
     capacity_sweep_to_csv,
     comparison_to_csv,
+    corpus_to_csv,
     manifest_to_json,
     results_to_json,
     rows_to_csv,
@@ -29,6 +30,7 @@ __all__ = [
     "capacity_sweep_to_csv",
     "channel_capacity_bps",
     "comparison_to_csv",
+    "corpus_to_csv",
     "confusion_matrix",
     "format_table",
     "frequency_sparkline",

@@ -26,6 +26,25 @@ def trace_to_csv(times_ms, freqs_mhz) -> str:
     return buffer.getvalue()
 
 
+def corpus_to_csv(records) -> str:
+    """A long-form ``label,time_ms,freq_mhz`` export of a trace corpus.
+
+    Accepts any iterable of :class:`~repro.sidechannel.tracer.
+    TraceRecord` — including a lazy :class:`~repro.trace.reader.
+    TraceReader` — so a stored corpus can stream straight to a plotting
+    script without materialising.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["label", "time_ms", "freq_mhz"])
+    for record in records:
+        for time, freq in zip(record.times_ms, record.freqs_mhz):
+            writer.writerow(
+                [record.label, f"{float(time):.3f}", f"{float(freq):g}"]
+            )
+    return buffer.getvalue()
+
+
 def rows_to_csv(headers: list[str], rows: Iterable[Iterable]) -> str:
     """Generic tabular export matching the printed benchmark tables."""
     buffer = io.StringIO()

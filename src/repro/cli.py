@@ -7,8 +7,11 @@
     python -m repro capacity --cross-processor --bits 150
     python -m repro stress --threads 4
     python -m repro defenses
-    python -m repro fingerprint --sites 16
+    python -m repro fingerprint --sites 16 --cache-dir traces/
     python -m repro filesize
+    python -m repro trace record fingerprint --cache-dir traces/
+    python -m repro trace replay fingerprint --cache-dir traces/
+    python -m repro trace ls --cache-dir traces/
 
 Every subcommand accepts ``--seed`` for reproducibility and prints the
 same row format the benchmark harness uses.  ``--workers N`` (or
@@ -16,6 +19,13 @@ same row format the benchmark harness uses.  ``--workers N`` (or
 command supports it (``capacity``, ``stress``, ``defenses``,
 ``fingerprint``); worker count never changes the results, only the wall
 time.
+
+Trace caching: ``fingerprint`` and ``filesize`` accept ``--cache-dir``
+(or ``$REPRO_TRACE_CACHE``) to reuse recorded trace corpora — a cache
+hit skips the simulation entirely and produces bit-identical results;
+``--no-cache`` forces a cold run.  The ``trace`` subcommand group
+(``record``, ``replay``, ``ls``, ``gc``, ``verify``) manages the store
+directly.
 
 Observability: every subcommand takes ``--telemetry PATH``, appending
 a run manifest —
@@ -29,10 +39,26 @@ byte-identical with it on or off.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
 from .analysis import format_table
+
+
+def _resolve_cache_dir(args: argparse.Namespace) -> str | None:
+    """Effective trace-store root for a cache-aware command.
+
+    ``--cache-dir`` beats the ``REPRO_TRACE_CACHE`` environment
+    variable; ``--no-cache`` beats both (so CI can export a store root
+    globally and still run individual commands cold).
+    """
+    if getattr(args, "no_cache", False):
+        return None
+    explicit = getattr(args, "cache_dir", None)
+    if explicit:
+        return explicit
+    return os.environ.get("REPRO_TRACE_CACHE") or None
 
 
 def _cmd_transmit(args: argparse.Namespace) -> dict:
@@ -218,6 +244,7 @@ def _cmd_fingerprint(args: argparse.Namespace) -> dict:
     dataset = collect_dataset(
         num_sites=args.sites, train_visits=3, test_visits=2,
         trace_ms=args.trace_ms, seed=args.seed, workers=args.workers,
+        cache_dir=_resolve_cache_dir(args),
     )
     result = run_fingerprinting_study(
         dataset,
@@ -240,6 +267,7 @@ def _cmd_filesize(args: argparse.Namespace) -> dict:
         sizes_kb=tuple(300.0 * s for s in range(1, args.steps + 1)),
         trials=args.trials,
         seed=args.seed,
+        cache_dir=_resolve_cache_dir(args),
     )
     if not args.json:
         print(f"file-size profiling at 300 KB granularity over "
@@ -249,6 +277,177 @@ def _cmd_filesize(args: argparse.Namespace) -> dict:
         "experiment": "filesize",
         "results": {"accuracy": study.accuracy, "study": study},
     }
+
+
+def _fingerprint_shape(args: argparse.Namespace) -> dict:
+    """The CLI fingerprint study shape (``repro fingerprint`` uses
+    3 training and 2 attack visits per site)."""
+    return dict(
+        num_sites=args.sites,
+        train_visits=3,
+        test_visits=2,
+        trace_ms=args.trace_ms,
+    )
+
+
+def _filesize_shape(args: argparse.Namespace) -> dict:
+    """The CLI file-size study shape (300 KB steps, like the paper)."""
+    return dict(
+        sizes_kb=tuple(300.0 * s for s in range(1, args.steps + 1)),
+        calibration_runs=2,
+        trials=args.trials,
+        granularity_kb=300.0,
+    )
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> dict:
+    from .sidechannel import collect_dataset, run_filesize_study
+    from .trace import TraceStore
+
+    store = TraceStore(args.cache_dir)
+    before = {entry.key for entry in store.entries()}
+    if args.experiment == "fingerprint":
+        dataset = collect_dataset(
+            **_fingerprint_shape(args),
+            seed=args.seed, workers=args.workers,
+            cache_dir=args.cache_dir,
+        )
+        traces = len(dataset.train) + len(dataset.test)
+    else:
+        study = run_filesize_study(
+            **_filesize_shape(args),
+            seed=args.seed,
+            cache_dir=args.cache_dir,
+        )
+        traces = len(study.runs) + len(study.calibration) * 2
+    new_keys = sorted(
+        entry.key for entry in store.entries()
+        if entry.key not in before
+    )
+    verb = "recorded" if new_keys else "already cached"
+    print(f"{verb}: {args.experiment} ({traces} traces) in "
+          f"{args.cache_dir}")
+    for key in new_keys:
+        print(f"  + {key}")
+    return {
+        "experiment": "trace-record",
+        "results": {
+            "recorded": args.experiment,
+            "traces": traces,
+            "new_keys": new_keys,
+        },
+    }
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> dict:
+    from .trace import TraceStore, replay_filesize, replay_fingerprint
+
+    store = TraceStore(args.cache_dir)
+    if args.experiment == "fingerprint":
+        result = replay_fingerprint(
+            store,
+            **_fingerprint_shape(args),
+            seed=args.seed,
+            sharded=args.sharded,
+            classifier=args.classifier,
+        )
+        if not args.json:
+            print(f"replayed {result.test_traces} attack traces from "
+                  f"{args.cache_dir} (no simulation)")
+            print(f"{args.classifier} top-1: {100 * result.top1:.1f} %  "
+                  f"top-5: {100 * result.top5:.1f} %")
+        return {"experiment": "trace-replay", "results": result}
+    study = replay_filesize(store, **_filesize_shape(args),
+                            seed=args.seed)
+    if not args.json:
+        print(f"replayed {len(study.runs)} profiled runs from "
+              f"{args.cache_dir} (no simulation)")
+        print(f"file-size accuracy: {100 * study.accuracy:.1f} %")
+    return {
+        "experiment": "trace-replay",
+        "results": {"accuracy": study.accuracy, "study": study},
+    }
+
+
+def _cmd_trace_ls(args: argparse.Namespace) -> dict:
+    from .trace import TraceStore
+
+    store = TraceStore(args.cache_dir)
+    entries = store.entries()
+    if not args.json:
+        rows = [
+            [
+                entry.key,
+                entry.experiment or "-",
+                str(entry.records),
+                f"{entry.size_bytes / 1024:.1f}",
+                str(entry.tick),
+            ]
+            for entry in sorted(entries, key=lambda e: e.tick)
+        ]
+        print(format_table(
+            ["key", "experiment", "records", "KiB", "tick"], rows,
+            title=f"{len(entries)} corpora, "
+                  f"{store.total_bytes() / 1024:.1f} KiB total "
+                  f"in {args.cache_dir}",
+        ))
+    return {
+        "experiment": "trace-ls",
+        "results": {
+            "entries": entries,
+            "total_bytes": store.total_bytes(),
+        },
+    }
+
+
+def _cmd_trace_gc(args: argparse.Namespace) -> dict:
+    from .trace import TraceStore
+
+    store = TraceStore(args.cache_dir)
+    evicted = store.gc(args.max_bytes)
+    if not args.json:
+        for key in evicted:
+            print(f"evicted {key}")
+        print(f"{len(evicted)} corpora evicted; "
+              f"{store.total_bytes() / 1024:.1f} KiB retained "
+              f"(cap {args.max_bytes / 1024:.1f} KiB)")
+    return {
+        "experiment": "trace-gc",
+        "results": {
+            "evicted": evicted,
+            "total_bytes": store.total_bytes(),
+        },
+    }
+
+
+def _cmd_trace_verify(args: argparse.Namespace) -> dict:
+    from .errors import TraceStoreError
+    from .trace import TraceStore
+
+    store = TraceStore(args.cache_dir)
+    report = store.verify()
+    if not args.json:
+        print(f"{len(report.ok)} ok, {len(report.missing)} missing, "
+              f"{len(report.corrupt)} corrupt in {args.cache_dir}")
+    if not report.clean:
+        for key in report.missing:
+            print(f"  missing blob: {key}", file=sys.stderr)
+        for key in report.corrupt:
+            print(f"  corrupt blob: {key}", file=sys.stderr)
+        if args.quarantine:
+            # Corrupt blobs move aside; entries whose blob vanished
+            # are dropped too, so the next record re-warms both.
+            for key in (*report.corrupt, *report.missing):
+                store.quarantine(key)
+            print(f"  quarantined {len(report.corrupt)} corpora, "
+                  f"dropped {len(report.missing)} stale entries",
+                  file=sys.stderr)
+        raise TraceStoreError(
+            f"trace store {args.cache_dir} failed verification "
+            f"({len(report.missing)} missing, "
+            f"{len(report.corrupt)} corrupt)"
+        )
+    return {"experiment": "trace-verify", "results": report}
 
 
 def _add_telemetry_flag(subparser: argparse.ArgumentParser) -> None:
@@ -266,6 +465,29 @@ def _add_json_flag(subparser: argparse.ArgumentParser) -> None:
              "instead of the human table",
     )
     _add_telemetry_flag(subparser)
+
+
+def _add_cache_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="trace-store root: reuse stored traces on a key hit, "
+             "record fresh ones on a miss (results are bit-identical "
+             "either way; default $REPRO_TRACE_CACHE)",
+    )
+    subparser.add_argument(
+        "--no-cache", action="store_true",
+        help="always simulate, even when $REPRO_TRACE_CACHE is set",
+    )
+
+
+def _add_fingerprint_shape_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--sites", type=int, default=16)
+    sub.add_argument("--trace-ms", type=float, default=5000.0)
+
+
+def _add_filesize_shape_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--steps", type=int, default=8)
+    sub.add_argument("--trials", type=int, default=2)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -333,18 +555,87 @@ def build_parser() -> argparse.ArgumentParser:
     fingerprint = commands.add_parser(
         "fingerprint", help="the Figure 12 website fingerprinting study"
     )
-    fingerprint.add_argument("--sites", type=int, default=16)
-    fingerprint.add_argument("--trace-ms", type=float, default=5000.0)
+    _add_fingerprint_shape_flags(fingerprint)
+    _add_cache_flags(fingerprint)
     _add_json_flag(fingerprint)
     fingerprint.set_defaults(handler=_cmd_fingerprint)
 
     filesize = commands.add_parser(
         "filesize", help="the Figure 11 file-size profiling study"
     )
-    filesize.add_argument("--steps", type=int, default=8)
-    filesize.add_argument("--trials", type=int, default=2)
+    _add_filesize_shape_flags(filesize)
+    _add_cache_flags(filesize)
     _add_json_flag(filesize)
     filesize.set_defaults(handler=_cmd_filesize)
+
+    trace = commands.add_parser(
+        "trace",
+        help="trace store: record, replay, ls, gc, verify",
+        description="Manage the content-addressed trace store: record "
+                    "study corpora, replay them through the "
+                    "classifiers without simulating, and inspect, "
+                    "garbage-collect or integrity-check the store.",
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command",
+                                          required=True)
+
+    record = trace_commands.add_parser(
+        "record", help="simulate a study and store its traces"
+    )
+    record.add_argument("experiment",
+                        choices=("fingerprint", "filesize"))
+    record.add_argument("--cache-dir", metavar="DIR", required=True,
+                        help="trace-store root to record into")
+    _add_fingerprint_shape_flags(record)
+    _add_filesize_shape_flags(record)
+    _add_telemetry_flag(record)
+    record.set_defaults(handler=_cmd_trace_record)
+
+    replay = trace_commands.add_parser(
+        "replay",
+        help="classify stored traces without touching the simulator",
+    )
+    replay.add_argument("experiment",
+                        choices=("fingerprint", "filesize"))
+    replay.add_argument("--cache-dir", metavar="DIR", required=True,
+                        help="trace-store root to replay from")
+    replay.add_argument("--classifier",
+                        choices=("rnn", "knn", "gru"), default="rnn",
+                        help="fingerprint model (default rnn)")
+    replay.add_argument("--sharded", action="store_true",
+                        help="the corpus was recorded in sharded "
+                             "(workers > 1) mode")
+    _add_fingerprint_shape_flags(replay)
+    _add_filesize_shape_flags(replay)
+    _add_json_flag(replay)
+    replay.set_defaults(handler=_cmd_trace_replay)
+
+    ls = trace_commands.add_parser(
+        "ls", help="list the stored corpora"
+    )
+    ls.add_argument("--cache-dir", metavar="DIR", required=True)
+    _add_json_flag(ls)
+    ls.set_defaults(handler=_cmd_trace_ls)
+
+    gc = trace_commands.add_parser(
+        "gc", help="evict least-recently-used corpora over a size cap"
+    )
+    gc.add_argument("--cache-dir", metavar="DIR", required=True)
+    gc.add_argument("--max-bytes", type=int, required=True,
+                    help="target store size in bytes")
+    _add_json_flag(gc)
+    gc.set_defaults(handler=_cmd_trace_gc)
+
+    verify = trace_commands.add_parser(
+        "verify",
+        help="integrity-check every stored corpus (exit 2 on damage)",
+    )
+    verify.add_argument("--cache-dir", metavar="DIR", required=True)
+    verify.add_argument("--quarantine", action="store_true",
+                        help="move corrupt blobs to quarantine/ "
+                             "instead of leaving them in place")
+    _add_json_flag(verify)
+    verify.set_defaults(handler=_cmd_trace_verify)
 
     return parser
 
@@ -352,7 +643,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
     from .config import RunnerConfig, default_platform_config
-    from .errors import ConfigError
+    from .errors import ReproError
 
     args = build_parser().parse_args(argv)
     try:
@@ -389,7 +680,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.json:
             print(manifest_to_json(manifest))
         return 0
-    except ConfigError as exc:
+    except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -55,3 +55,34 @@ class DefenseError(ReproError):
 
 class CalibrationError(ReproError):
     """A model calibration constant fell outside its valid range."""
+
+
+class TraceError(ReproError):
+    """A frequency-trace artefact (record, corpus or store) is unusable."""
+
+
+class TraceFormatError(TraceError):
+    """A trace blob does not parse as the versioned binary format.
+
+    Raised for a bad magic number, an unsupported format version or a
+    structurally impossible layout — the bytes were never a trace, or
+    were written by a future writer.
+    """
+
+
+class TraceCorruptionError(TraceFormatError):
+    """A trace blob parsed but its integrity checks failed.
+
+    Raised for truncated streams and CRC mismatches: the bytes *were* a
+    trace once but have been damaged since.  The store quarantines the
+    blob before letting this propagate.
+    """
+
+
+class TraceStoreError(TraceError):
+    """The content-addressed trace store is inconsistent.
+
+    Raised, for example, when an index entry points at a blob that no
+    longer exists on disk, or a replay asks for a key that was never
+    recorded.  The store stays usable after the error.
+    """

@@ -47,6 +47,48 @@ class FingerprintResult:
     test_traces: int
 
 
+def fingerprint_cache_params(
+    *,
+    num_sites: int,
+    train_visits: int,
+    test_visits: int,
+    trace_ms: float,
+    victim_core: int,
+    sharded: bool,
+) -> dict:
+    """The canonical cache-key params for a fingerprint dataset.
+
+    Shared by the runner and the ``repro trace`` CLI.  ``sharded`` is
+    part of the key because the sharded and long-lived-campaign
+    collection modes are *different* (equally valid) datasets; worker
+    count is not, because fan-out never changes a sharded dataset.
+    """
+    return {
+        "num_sites": num_sites,
+        "train_visits": train_visits,
+        "test_visits": test_visits,
+        "trace_ms": trace_ms,
+        "victim_core": victim_core,
+        "sharded": sharded,
+    }
+
+
+def _shard_store_key(store, *, site: int, seed: int, platform,
+                     **params) -> str:
+    """Cache key for one site shard's corpus."""
+    from ..config import default_platform_config
+
+    effective = (platform if platform is not None
+                 else default_platform_config())
+    return store.key(
+        "fingerprint-shard",
+        platform=effective,
+        params={**fingerprint_cache_params(sharded=True, **params),
+                "site": site},
+        seed=seed,
+    )
+
+
 def _collect_site_traces(
     *,
     site: int,
@@ -57,6 +99,7 @@ def _collect_site_traces(
     seed: int,
     victim_core: int,
     platform=None,
+    cache_dir=None,
 ) -> tuple[list[TraceRecord], list[TraceRecord]]:
     """Collect all visits to one site in a dedicated seeded system.
 
@@ -65,7 +108,29 @@ def _collect_site_traces(
     how many workers collect them or in what order.  The victim RNG
     streams reuse the same ``visit-<site>-<visit>`` names the long-lived
     campaign uses, keyed off the shard seed.
+
+    With ``cache_dir`` set, each shard owns its own cache line: the
+    worker process that runs the shard reads and writes the shard's
+    corpus itself, so a parallel warm run touches the simulator for
+    missing shards only, and concurrent writers never share a blob.
     """
+    key = None
+    store = None
+    if cache_dir is not None:
+        from ..trace.store import TraceStore
+
+        store = TraceStore(cache_dir)
+        key = _shard_store_key(
+            store, site=site, seed=seed, platform=platform,
+            num_sites=num_sites, train_visits=train_visits,
+            test_visits=test_visits, trace_ms=trace_ms,
+            victim_core=victim_core,
+        )
+        cached = store.fetch(key)
+        if cached is not None:
+            meta, records = cached
+            split = int(meta["train_count"])
+            return list(records[:split]), list(records[split:])
     system = System(platform, seed=derive_seed(seed, f"fp-site-{site}"))
     attacker = UfsAttacker(system)
     attacker.settle()
@@ -88,6 +153,9 @@ def _collect_site_traces(
         (train if visit < train_visits else test).append(trace)
     attacker.shutdown()
     system.stop()
+    if store is not None:
+        store.put(key, train + test, experiment="fingerprint-shard",
+                  meta={"train_count": len(train), "site": site})
     return train, test
 
 
@@ -103,6 +171,7 @@ def collect_dataset(
     workers: int | None = 1,
     context: ExperimentContext | None = None,
     per_site_systems: bool | None = None,
+    cache_dir=None,
 ) -> FingerprintDataset:
     """Run the attacker against victim visits to every site.
 
@@ -120,6 +189,16 @@ def collect_dataset(
     experiment seed — identical for every worker count — but it is a
     *different* (equally valid) dataset than the long-lived-campaign
     one, since the attacker state no longer carries across sites.
+
+    ``cache_dir`` names a :class:`~repro.trace.store.TraceStore` root
+    and makes collection cache-aware: traces are a pure function of
+    ``(platform, collection params, seed)``, so a key hit skips the
+    simulation entirely and a miss stores the freshly simulated corpus
+    on the way out — bit-identical datasets either way.  In long-lived
+    mode the whole dataset is one cache line; in sharded mode every
+    site shard is its own line, written by whichever worker process ran
+    the shard (so ``workers > 1`` warms and reuses the same entries a
+    serial run does).
     """
     ctx = ExperimentContext.coalesce(
         context, platform=platform, seed=seed, workers=workers
@@ -138,6 +217,7 @@ def collect_dataset(
                 seed=seed,
                 victim_core=victim_core,
                 platform=platform,
+                cache_dir=(None if cache_dir is None else str(cache_dir)),
             ))
             for site in range(num_sites)
         ]
@@ -152,6 +232,36 @@ def collect_dataset(
             num_sites=num_sites,
             trace_ms=trace_ms,
         )
+
+    store = None
+    dataset_key = None
+    if cache_dir is not None:
+        from ..config import default_platform_config
+        from ..trace.store import TraceStore
+
+        store = TraceStore(cache_dir)
+        effective = (platform if platform is not None
+                     else default_platform_config())
+        dataset_key = store.key(
+            "fingerprint",
+            platform=effective,
+            params=fingerprint_cache_params(
+                num_sites=num_sites, train_visits=train_visits,
+                test_visits=test_visits, trace_ms=trace_ms,
+                victim_core=victim_core, sharded=False,
+            ),
+            seed=seed,
+        )
+        cached = store.fetch(dataset_key)
+        if cached is not None:
+            meta, records = cached
+            split = int(meta["train_count"])
+            return FingerprintDataset(
+                train=tuple(records[:split]),
+                test=tuple(records[split:]),
+                num_sites=num_sites,
+                trace_ms=trace_ms,
+            )
     system = System(platform, seed=seed)
     attacker = UfsAttacker(system)
     attacker.settle()
@@ -175,6 +285,18 @@ def collect_dataset(
             (train if visit < train_visits else test).append(trace)
     attacker.shutdown()
     system.stop()
+    if store is not None:
+        store.put(
+            dataset_key, train + test, experiment="fingerprint",
+            meta={
+                "train_count": len(train),
+                **fingerprint_cache_params(
+                    num_sites=num_sites, train_visits=train_visits,
+                    test_visits=test_visits, trace_ms=trace_ms,
+                    victim_core=victim_core, sharded=False,
+                ),
+            },
+        )
     return FingerprintDataset(
         train=tuple(train),
         test=tuple(test),

@@ -25,16 +25,33 @@ class TraceRecord:
 
     @property
     def duration_ms(self) -> float:
-        return float(self.times_ms[-1]) if len(self.times_ms) else 0.0
+        """Span of the trace: last timestamp minus first.
+
+        The subtraction matters for traces that do not start at zero
+        (replayed slices, re-based recordings); for collector output,
+        whose first sample is at 0.0, it is the last timestamp anyway.
+        """
+        if not len(self.times_ms):
+            return 0.0
+        return float(self.times_ms[-1] - self.times_ms[0])
 
 
 class FrequencyTraceCollector:
-    """Samples the attacker's probe at a fixed cadence."""
+    """Samples the attacker's probe at a fixed cadence.
+
+    ``on_record`` is the capture hook: when set, every completed trace
+    is passed to it before being returned.  The trace-store capture
+    paths (``repro trace record``, the cache-aware studies) hang a
+    corpus writer here; the hook is observational and must not mutate
+    the record.
+    """
 
     def __init__(self, attacker: UfsAttacker,
-                 sample_period_ms: float = 3.0) -> None:
+                 sample_period_ms: float = 3.0,
+                 on_record=None) -> None:
         self.attacker = attacker
         self.sample_period_ns = ms(sample_period_ms)
+        self.on_record = on_record
 
     def collect(self, duration_ms: float, label: int = -1) -> TraceRecord:
         """Record a trace of ``duration_ms`` starting now."""
@@ -44,7 +61,10 @@ class FrequencyTraceCollector:
         start = points[0][0] if points else 0
         times = np.array([(t - start) / 1e6 for t, _ in points])
         freqs = np.array([f for _, f in points])
-        return TraceRecord(label=label, times_ms=times, freqs_mhz=freqs)
+        record = TraceRecord(label=label, times_ms=times, freqs_mhz=freqs)
+        if self.on_record is not None:
+            self.on_record(record)
+        return record
 
 
 def active_duration_ms(trace: TraceRecord,

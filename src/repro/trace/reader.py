@@ -1,0 +1,96 @@
+"""Lazy trace-corpus reader.
+
+The reader parses the corpus header eagerly (magic, version, meta) and
+decodes records on demand: iterating a :class:`TraceReader` yields one
+:class:`~repro.sidechannel.tracer.TraceRecord` per step, holding a
+single encoded frame in memory at a time.  A multi-thousand-trace
+corpus can therefore be streamed through feature extraction without
+ever materialising in full; :meth:`TraceReader.read_all` exists for the
+small corpora where a list is more convenient.
+
+Defects surface as typed errors: a foreign or future file raises
+:class:`~repro.errors.TraceFormatError` at construction, truncated
+frames and damaged records raise
+:class:`~repro.errors.TraceCorruptionError` at the point of iteration.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator
+
+from ..errors import TraceCorruptionError, TraceFormatError
+from ..sidechannel.tracer import TraceRecord
+from .format import decode_record
+from .writer import _CORPUS_HEADER, _FRAME, CORPUS_MAGIC, CORPUS_VERSION
+
+__all__ = ["TraceReader", "read_corpus"]
+
+
+class TraceReader:
+    """Iterate the records of one corpus file lazily."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        with open(self.path, "rb") as handle:
+            header = handle.read(_CORPUS_HEADER.size)
+            if len(header) < _CORPUS_HEADER.size:
+                raise TraceCorruptionError(
+                    f"{self.path}: truncated corpus header"
+                )
+            magic, version, meta_length = _CORPUS_HEADER.unpack(header)
+            if magic != CORPUS_MAGIC:
+                raise TraceFormatError(
+                    f"{self.path}: bad corpus magic {magic!r} "
+                    f"(expected {CORPUS_MAGIC!r})"
+                )
+            if version != CORPUS_VERSION:
+                raise TraceFormatError(
+                    f"{self.path}: unsupported corpus version {version}"
+                )
+            meta_bytes = handle.read(meta_length)
+            if len(meta_bytes) < meta_length:
+                raise TraceCorruptionError(
+                    f"{self.path}: truncated corpus meta block"
+                )
+            try:
+                self.meta: dict = json.loads(meta_bytes.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise TraceCorruptionError(
+                    f"{self.path}: corpus meta is not valid JSON"
+                ) from exc
+            self._data_offset = handle.tell()
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        """A fresh lazy pass over the records (restartable)."""
+        with open(self.path, "rb") as handle:
+            handle.seek(self._data_offset)
+            index = 0
+            while True:
+                frame = handle.read(_FRAME.size)
+                if not frame:
+                    return
+                if len(frame) < _FRAME.size:
+                    raise TraceCorruptionError(
+                        f"{self.path}: record {index} frame truncated"
+                    )
+                (length,) = _FRAME.unpack(frame)
+                blob = handle.read(length)
+                if len(blob) < length:
+                    raise TraceCorruptionError(
+                        f"{self.path}: record {index} body truncated "
+                        f"({len(blob)} of {length} bytes)"
+                    )
+                yield decode_record(blob)
+                index += 1
+
+    def read_all(self) -> list[TraceRecord]:
+        """Decode the whole corpus into a list."""
+        return list(self)
+
+
+def read_corpus(path) -> tuple[dict, list[TraceRecord]]:
+    """Load a corpus eagerly; return ``(meta, records)``."""
+    reader = TraceReader(path)
+    return reader.meta, reader.read_all()

@@ -1,0 +1,338 @@
+"""Content-addressed on-disk store for trace corpora.
+
+Layout under the store root::
+
+    <root>/blobs/<key>.uftc        corpus blobs (the cached data)
+    <root>/index/<key>.json        one index entry per blob
+    <root>/quarantine/<key>.uftc   corrupt blobs, moved aside
+
+A **key** is a digest of everything a corpus is a pure function of:
+the effective platform configuration (via
+:func:`repro.telemetry.config_digest`), the experiment name, the
+canonicalised experiment parameters and the seed.  Two runs share a key
+exactly when they would simulate identical traces, so a key hit means
+the simulation can be skipped outright.
+
+Index entries are *per-key files*, not one shared manifest: parallel
+shards (``workers > 1``) write their own corpora concurrently, and
+per-entry files make every write a two-step temp-file + ``os.replace``
+sequence with no cross-process read-modify-write window.  The entry
+records byte/record counts for ``ls`` and an access ``tick`` — a
+store-wide logical counter bumped on every read — that orders entries
+for the size-capped LRU :meth:`TraceStore.gc`.
+
+Failure handling is conservative: a blob that fails to parse is moved
+to ``quarantine/`` (never deleted) and its entry dropped before the
+typed error propagates, so one damaged file cannot wedge the store; an
+index entry whose blob vanished raises
+:class:`~repro.errors.TraceStoreError` and is cleaned up the same way.
+
+When a :mod:`repro.telemetry` registry is active the store counts
+``trace.store.hits`` / ``misses`` / ``writes`` / ``bytes_written`` /
+``evictions`` / ``quarantined`` — observational only, like all
+telemetry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import TraceError, TraceStoreError
+from ..sidechannel.tracer import TraceRecord
+from ..telemetry.context import active_registry
+from ..telemetry.manifest import config_digest
+from .reader import TraceReader
+from .writer import TraceWriter
+
+__all__ = ["StoreEntry", "TraceStore", "VerifyReport"]
+
+
+def _count(name: str, amount: int | float = 1) -> None:
+    registry = active_registry()
+    if registry is not None:
+        registry.inc(f"trace.store.{name}", amount)
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One index entry: what a cached corpus is and how big it is."""
+
+    key: str
+    experiment: str
+    records: int
+    size_bytes: int
+    tick: int
+    meta: dict
+
+
+@dataclass(frozen=True)
+class VerifyReport:
+    """Outcome of a full-store integrity pass."""
+
+    ok: tuple[str, ...]
+    missing: tuple[str, ...]
+    corrupt: tuple[str, ...]
+
+    @property
+    def clean(self) -> bool:
+        return not self.missing and not self.corrupt
+
+
+class TraceStore:
+    """A size-capped, content-addressed cache of trace corpora."""
+
+    def __init__(self, root, *, max_bytes: int | None = None) -> None:
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        self._blobs = self.root / "blobs"
+        self._index = self.root / "index"
+        self._quarantine = self.root / "quarantine"
+        for directory in (self._blobs, self._index):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    # -- keys ---------------------------------------------------------
+
+    @staticmethod
+    def key(experiment: str, *, platform=None, params: dict | None = None,
+            seed: int | None = None) -> str:
+        """Digest ``(platform, experiment, params, seed)`` into a key.
+
+        ``platform`` should be the *effective* configuration (resolve
+        ``None`` to the default before calling) so that an explicit
+        default and an implied one share the cache line.  Params are
+        canonicalised through sorted-key JSON; anything unserialisable
+        falls back to ``repr``, which is stable for the frozen configs
+        used throughout this codebase.
+        """
+        material = json.dumps(
+            {
+                "experiment": experiment,
+                "platform": config_digest(platform),
+                "params": params or {},
+                "seed": seed,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+            default=repr,
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:32]
+
+    # -- paths --------------------------------------------------------
+
+    def blob_path(self, key: str) -> Path:
+        return self._blobs / f"{key}.uftc"
+
+    def _entry_path(self, key: str) -> Path:
+        return self._index / f"{key}.json"
+
+    # -- index entries ------------------------------------------------
+
+    def _read_entry(self, key: str) -> StoreEntry | None:
+        path = self._entry_path(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise TraceStoreError(
+                f"index entry {path} is not valid JSON"
+            ) from exc
+        return StoreEntry(
+            key=payload["key"],
+            experiment=payload.get("experiment", ""),
+            records=int(payload.get("records", 0)),
+            size_bytes=int(payload.get("size_bytes", 0)),
+            tick=int(payload.get("tick", 0)),
+            meta=payload.get("meta", {}),
+        )
+
+    def _write_entry(self, entry: StoreEntry) -> None:
+        path = self._entry_path(entry.key)
+        temp = path.with_suffix(".json.tmp")
+        temp.write_text(
+            json.dumps(
+                {
+                    "key": entry.key,
+                    "experiment": entry.experiment,
+                    "records": entry.records,
+                    "size_bytes": entry.size_bytes,
+                    "tick": entry.tick,
+                    "meta": entry.meta,
+                },
+                sort_keys=True,
+            ),
+            encoding="utf-8",
+        )
+        os.replace(temp, path)
+
+    def _next_tick(self) -> int:
+        ticks = [entry.tick for entry in self.entries()]
+        return (max(ticks) + 1) if ticks else 1
+
+    def entries(self) -> list[StoreEntry]:
+        """All index entries, sorted by key."""
+        result = []
+        for path in sorted(self._index.glob("*.json")):
+            entry = self._read_entry(path.stem)
+            if entry is not None:
+                result.append(entry)
+        return result
+
+    def total_bytes(self) -> int:
+        return sum(entry.size_bytes for entry in self.entries())
+
+    # -- write path ---------------------------------------------------
+
+    def put(self, key: str, records, *, experiment: str = "",
+            meta: dict | None = None) -> Path:
+        """Atomically write a corpus under ``key`` and index it.
+
+        The corpus is streamed to a temp file in the blob directory
+        (same filesystem) and published with ``os.replace``, so readers
+        never observe a half-written blob — concurrent writers of the
+        same key are writing identical content by construction, and the
+        last rename wins harmlessly.
+        """
+        blob = self.blob_path(key)
+        temp = blob.with_suffix(".uftc.tmp")
+        try:
+            with TraceWriter(temp, meta=meta) as writer:
+                for record in records:
+                    writer.write(record)
+                count = writer.count
+            os.replace(temp, blob)
+        finally:
+            if temp.exists():
+                temp.unlink()
+        size = blob.stat().st_size
+        self._write_entry(StoreEntry(
+            key=key,
+            experiment=experiment,
+            records=count,
+            size_bytes=size,
+            tick=self._next_tick(),
+            meta=meta or {},
+        ))
+        _count("writes")
+        _count("bytes_written", size)
+        if self.max_bytes is not None:
+            self.gc(self.max_bytes)
+        return blob
+
+    # -- read path ----------------------------------------------------
+
+    def contains(self, key: str) -> bool:
+        return self.blob_path(key).exists()
+
+    def open(self, key: str) -> TraceReader:
+        """A lazy reader over the corpus at ``key``; touches the LRU.
+
+        Raises :class:`~repro.errors.TraceStoreError` for an unknown
+        key, and — after dropping the stale entry — for an index entry
+        whose blob is missing from disk.
+        """
+        blob = self.blob_path(key)
+        entry = self._read_entry(key)
+        if not blob.exists():
+            if entry is not None:
+                self._entry_path(key).unlink(missing_ok=True)
+                raise TraceStoreError(
+                    f"index entry {key} points at a missing blob "
+                    f"{blob}; entry dropped, store is consistent again"
+                )
+            raise TraceStoreError(f"no corpus stored under key {key}")
+        if entry is not None:
+            self._write_entry(StoreEntry(
+                key=entry.key, experiment=entry.experiment,
+                records=entry.records, size_bytes=entry.size_bytes,
+                tick=self._next_tick(), meta=entry.meta,
+            ))
+        return TraceReader(blob)
+
+    def load(self, key: str) -> tuple[dict, list[TraceRecord]]:
+        """Eagerly load ``key``; quarantine the blob if it is corrupt."""
+        reader = self.open(key)
+        try:
+            records = reader.read_all()
+        except TraceError:
+            self.quarantine(key)
+            raise
+        _count("hits")
+        return reader.meta, records
+
+    def fetch(self, key: str) -> tuple[dict, list[TraceRecord]] | None:
+        """Cache-style lookup: ``None`` on miss *or* quarantined blob.
+
+        This is what the cache-aware runners call: a damaged corpus is
+        moved aside (with its typed error swallowed) and reported as a
+        miss, so the caller transparently falls back to simulation and
+        overwrites the entry with a fresh corpus.
+        """
+        if not self.contains(key):
+            _count("misses")
+            return None
+        try:
+            return self.load(key)
+        except TraceError:
+            _count("misses")
+            return None
+
+    # -- maintenance --------------------------------------------------
+
+    def quarantine(self, key: str) -> Path:
+        """Move a blob out of the blob dir; drop its index entry."""
+        self._quarantine.mkdir(parents=True, exist_ok=True)
+        blob = self.blob_path(key)
+        target = self._quarantine / blob.name
+        if blob.exists():
+            os.replace(blob, target)
+        self._entry_path(key).unlink(missing_ok=True)
+        _count("quarantined")
+        return target
+
+    def gc(self, max_bytes: int | None = None) -> list[str]:
+        """Evict least-recently-used corpora until under ``max_bytes``.
+
+        Returns the evicted keys (oldest tick first).  With no cap
+        configured anywhere, this is a no-op.
+        """
+        cap = self.max_bytes if max_bytes is None else max_bytes
+        if cap is None:
+            return []
+        entries = sorted(self.entries(), key=lambda e: (e.tick, e.key))
+        total = sum(entry.size_bytes for entry in entries)
+        evicted: list[str] = []
+        for entry in entries:
+            if total <= cap:
+                break
+            self.blob_path(entry.key).unlink(missing_ok=True)
+            self._entry_path(entry.key).unlink(missing_ok=True)
+            total -= entry.size_bytes
+            evicted.append(entry.key)
+            _count("evictions")
+        return evicted
+
+    def verify(self) -> VerifyReport:
+        """Integrity-check every indexed corpus without mutating it."""
+        ok: list[str] = []
+        missing: list[str] = []
+        corrupt: list[str] = []
+        for entry in self.entries():
+            blob = self.blob_path(entry.key)
+            if not blob.exists():
+                missing.append(entry.key)
+                continue
+            try:
+                for _ in TraceReader(blob):
+                    pass
+            except TraceError:
+                corrupt.append(entry.key)
+            else:
+                ok.append(entry.key)
+        return VerifyReport(
+            ok=tuple(ok), missing=tuple(missing), corrupt=tuple(corrupt)
+        )

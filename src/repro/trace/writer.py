@@ -1,0 +1,84 @@
+"""Streaming trace-corpus writer.
+
+A corpus file holds a JSON meta block followed by any number of
+length-prefixed trace records::
+
+    offset  size  field
+    ------  ----  -----------------------------------
+    0       4     magic  b"UFTC"
+    4       2     corpus version (currently 1)
+    6       4     meta length in bytes
+    10      ...   meta (UTF-8 JSON object)
+    ...           records, each: u32 length + record bytes
+
+Records are framed individually and appended as they arrive, so a
+multi-thousand-trace collection never has to exist in memory as a
+whole — the writer holds exactly one encoded record at a time, and the
+:class:`~repro.trace.reader.TraceReader` decodes lazily on the way back
+out.  There is no record count in the header for the same reason;
+end-of-file terminates the corpus, and a partial frame is reported as
+:class:`~repro.errors.TraceCorruptionError` by the reader.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+
+from ..errors import TraceError
+from ..sidechannel.tracer import TraceRecord
+from .format import encode_record
+
+__all__ = ["CORPUS_MAGIC", "CORPUS_VERSION", "TraceWriter", "write_corpus"]
+
+CORPUS_MAGIC = b"UFTC"
+CORPUS_VERSION = 1
+
+_CORPUS_HEADER = struct.Struct("<4sHI")
+_FRAME = struct.Struct("<I")
+
+
+class TraceWriter:
+    """Append trace records to a corpus file, one at a time."""
+
+    def __init__(self, path, *, meta: dict | None = None) -> None:
+        self.path = Path(path)
+        meta_bytes = json.dumps(
+            meta or {}, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        self._handle = open(self.path, "wb")
+        self._handle.write(
+            _CORPUS_HEADER.pack(CORPUS_MAGIC, CORPUS_VERSION,
+                                len(meta_bytes))
+        )
+        self._handle.write(meta_bytes)
+        self.count = 0
+
+    def write(self, record: TraceRecord) -> None:
+        """Encode and append one record."""
+        if self._handle is None:
+            raise TraceError(f"writer for {self.path} is already closed")
+        blob = encode_record(record)
+        self._handle.write(_FRAME.pack(len(blob)))
+        self._handle.write(blob)
+        self.count += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def write_corpus(path, records, *, meta: dict | None = None) -> int:
+    """Write an iterable of records as a corpus; return the count."""
+    with TraceWriter(path, meta=meta) as writer:
+        for record in records:
+            writer.write(record)
+        return writer.count

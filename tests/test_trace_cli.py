@@ -1,0 +1,156 @@
+"""The ``repro trace`` subcommand group and the cache flags."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FILESIZE_FLAGS = ["--steps", "2", "--trials", "1"]
+FINGERPRINT_FLAGS = ["--sites", "2", "--trace-ms", "250"]
+
+
+class TestParser:
+    def test_trace_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_every_trace_command_registered(self):
+        parser = build_parser()
+        for command, extra in (
+            ("record", ["filesize"]),
+            ("replay", ["filesize"]),
+            ("ls", []),
+            ("gc", ["--max-bytes", "1"]),
+            ("verify", []),
+        ):
+            args = parser.parse_args(
+                ["trace", command, *extra, "--cache-dir", "x"]
+            )
+            assert callable(args.handler)
+
+    def test_cache_flags_on_studies(self):
+        parser = build_parser()
+        for command in ("fingerprint", "filesize"):
+            args = parser.parse_args([command, "--cache-dir", "d",
+                                      "--no-cache"])
+            assert args.cache_dir == "d"
+            assert args.no_cache
+
+    def test_cache_dir_env_fallback(self, monkeypatch):
+        from repro.cli import _resolve_cache_dir
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "/env/store")
+        args = build_parser().parse_args(["filesize"])
+        assert _resolve_cache_dir(args) == "/env/store"
+        args = build_parser().parse_args(["filesize", "--no-cache"])
+        assert _resolve_cache_dir(args) is None
+        args = build_parser().parse_args(
+            ["filesize", "--cache-dir", "/cli/store"]
+        )
+        assert _resolve_cache_dir(args) == "/cli/store"
+
+
+class TestRoundTrip:
+    def test_record_ls_replay_verify_filesize(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["--seed", "3", "trace", "record", "filesize",
+                     "--cache-dir", store, *FILESIZE_FLAGS]) == 0
+        out = capsys.readouterr().out
+        assert "recorded: filesize" in out
+
+        assert main(["trace", "ls", "--cache-dir", store]) == 0
+        out = capsys.readouterr().out
+        assert "filesize" in out and "1 corpora" in out
+
+        assert main(["--seed", "3", "trace", "replay", "filesize",
+                     "--cache-dir", store, *FILESIZE_FLAGS]) == 0
+        out = capsys.readouterr().out
+        assert "no simulation" in out and "%" in out
+
+        assert main(["trace", "verify", "--cache-dir", store]) == 0
+        out = capsys.readouterr().out
+        assert "1 ok, 0 missing, 0 corrupt" in out
+
+    def test_second_record_is_a_cache_hit(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        argv = ["--seed", "3", "trace", "record", "filesize",
+                "--cache-dir", store, *FILESIZE_FLAGS]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "already cached" in capsys.readouterr().out
+
+    def test_study_command_warm_runs_from_the_store(self, tmp_path,
+                                                    capsys):
+        store = str(tmp_path / "store")
+        argv = ["--seed", "3", "filesize", *FILESIZE_FLAGS,
+                "--cache-dir", store, "--json"]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["results"]["accuracy"] == (
+            cold["results"]["accuracy"]
+        )
+        assert warm["results"]["study"] == cold["results"]["study"]
+        # The warm run fired no simulator events.
+        assert warm["metrics"]["counters"].get(
+            "engine.events_fired", 0
+        ) == 0
+
+    def test_fingerprint_replay_with_knn(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["--seed", "5", "trace", "record", "fingerprint",
+                     "--cache-dir", store, *FINGERPRINT_FLAGS]) == 0
+        capsys.readouterr()
+        assert main(["--seed", "5", "trace", "replay", "fingerprint",
+                     "--cache-dir", store, "--classifier", "knn",
+                     *FINGERPRINT_FLAGS]) == 0
+        out = capsys.readouterr().out
+        assert "knn top-1" in out
+
+    def test_gc_evicts_and_reports(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["--seed", "3", "trace", "record", "filesize",
+                     "--cache-dir", store, *FILESIZE_FLAGS]) == 0
+        capsys.readouterr()
+        assert main(["trace", "gc", "--cache-dir", store,
+                     "--max-bytes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "1 corpora evicted" in out
+
+    def test_verify_fails_on_a_damaged_store(self, tmp_path, capsys):
+        from repro.trace import TraceStore
+
+        store_dir = tmp_path / "store"
+        store = str(store_dir)
+        assert main(["--seed", "3", "trace", "record", "filesize",
+                     "--cache-dir", store, *FILESIZE_FLAGS]) == 0
+        capsys.readouterr()
+        trace_store = TraceStore(store_dir)
+        entry = trace_store.entries()[0]
+        blob = trace_store.blob_path(entry.key)
+        data = bytearray(blob.read_bytes())
+        data[-1] ^= 0xFF
+        blob.write_bytes(bytes(data))
+
+        assert main(["trace", "verify", "--cache-dir", store]) == 2
+        captured = capsys.readouterr()
+        assert "corrupt blob" in captured.err
+
+        # --quarantine moves the blob aside; the store verifies clean
+        # (zero corpora) afterwards.
+        assert main(["trace", "verify", "--cache-dir", store,
+                     "--quarantine"]) == 2
+        capsys.readouterr()
+        assert main(["trace", "verify", "--cache-dir", store]) == 0
+
+    def test_replay_of_an_empty_store_is_a_clean_error(self, tmp_path,
+                                                       capsys):
+        store = str(tmp_path / "store")
+        code = main(["--seed", "3", "trace", "replay", "filesize",
+                     "--cache-dir", store, *FILESIZE_FLAGS])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
