@@ -33,7 +33,9 @@ Layer map (bottom up):
 * :mod:`repro.telemetry` — the observational metrics registry and run
   manifests;
 * :mod:`repro.trace` — trace capture, the content-addressed corpus
-  store and deterministic replay.
+  store and deterministic replay;
+* :mod:`repro.validate` — the scenario fuzzer, invariant oracles and
+  differential checks behind ``repro validate``.
 
 Import surface: this top-level package re-exports the working set —
 the system (:class:`System`, :class:`PlatformConfig`,
@@ -75,6 +77,7 @@ from .errors import (
     PrivilegeError,
     ReproError,
     TraceError,
+    ValidationError,
 )
 
 __version__ = "1.0.0"
@@ -101,6 +104,7 @@ __all__ = [
     "UFSender",
     "UFVariationChannel",
     "UncoreFrequencyProbe",
+    "ValidationError",
     "__version__",
     "capacity_sweep",
     "capacity_under_stress",

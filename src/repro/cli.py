@@ -12,6 +12,8 @@
     python -m repro trace record fingerprint --cache-dir traces/
     python -m repro trace replay fingerprint --cache-dir traces/
     python -m repro trace ls --cache-dir traces/
+    python -m repro validate --scenarios 500 --seed 1
+    python -m repro validate --differential
 
 Every subcommand accepts ``--seed`` for reproducibility and prints the
 same row format the benchmark harness uses.  ``--workers N`` (or
@@ -428,26 +430,121 @@ def _cmd_trace_verify(args: argparse.Namespace) -> dict:
     report = store.verify()
     if not args.json:
         print(f"{len(report.ok)} ok, {len(report.missing)} missing, "
-              f"{len(report.corrupt)} corrupt in {args.cache_dir}")
+              f"{len(report.corrupt)} corrupt, "
+              f"{len(report.bad_entries)} bad index entries "
+              f"in {args.cache_dir}")
     if not report.clean:
         for key in report.missing:
             print(f"  missing blob: {key}", file=sys.stderr)
         for key in report.corrupt:
             print(f"  corrupt blob: {key}", file=sys.stderr)
+        for key in report.bad_entries:
+            print(f"  unreadable index entry: {key}", file=sys.stderr)
         if args.quarantine:
-            # Corrupt blobs move aside; entries whose blob vanished
-            # are dropped too, so the next record re-warms both.
-            for key in (*report.corrupt, *report.missing):
+            # Corrupt blobs and unreadable entries move aside; entries
+            # whose blob vanished are dropped too, so the next record
+            # re-warms everything.
+            for key in (*report.corrupt, *report.missing,
+                        *report.bad_entries):
                 store.quarantine(key)
             print(f"  quarantined {len(report.corrupt)} corpora, "
+                  f"{len(report.bad_entries)} damaged entries; "
                   f"dropped {len(report.missing)} stale entries",
                   file=sys.stderr)
         raise TraceStoreError(
             f"trace store {args.cache_dir} failed verification "
             f"({len(report.missing)} missing, "
-            f"{len(report.corrupt)} corrupt)"
+            f"{len(report.corrupt)} corrupt, "
+            f"{len(report.bad_entries)} bad index entries)"
         )
     return {"experiment": "trace-verify", "results": report}
+
+
+def _cmd_validate(args: argparse.Namespace) -> dict:
+    from .errors import ValidationError
+    from .validate import (
+        FAULTS,
+        non_default_params,
+        replay_repro,
+        run_differential_suite,
+        run_validation,
+    )
+
+    if args.replay:
+        outcome = replay_repro(args.replay)
+        if not args.json:
+            for violation in outcome.violations:
+                print(f"  [{violation.oracle}] {violation.message}")
+        if outcome.ok:
+            raise ValidationError(
+                f"repro file {args.replay} no longer reproduces: the "
+                f"recorded failure is gone (fixed, or the repro is "
+                f"stale)"
+            )
+        if not args.json:
+            print(f"reproduced: scenario {outcome.scenario.index} "
+                  f"(seed {outcome.scenario.seed}) still fails with "
+                  f"{len(outcome.violations)} violations")
+        return {
+            "experiment": "validate-replay",
+            "results": {
+                "reproduced": True,
+                "violations": len(outcome.violations),
+                "non_default_params": sorted(
+                    non_default_params(outcome.scenario)
+                ),
+            },
+        }
+
+    if args.differential:
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as workdir:
+            reports = run_differential_suite(workdir, seed=args.seed)
+        if not args.json:
+            rows = [
+                [r.name, "ok" if r.matched else "MISMATCH", r.detail]
+                for r in reports
+            ]
+            print(format_table(["check", "result", "detail"], rows))
+        mismatched = [r for r in reports if not r.matched]
+        if mismatched:
+            raise ValidationError(
+                f"{len(mismatched)} differential checks diverged: "
+                + ", ".join(r.name for r in mismatched)
+            )
+        return {
+            "experiment": "validate-differential",
+            "results": {"checks": len(reports), "mismatches": 0},
+        }
+
+    if args.plant_fault is not None and args.plant_fault not in FAULTS:
+        raise ValidationError(
+            f"unknown fault {args.plant_fault!r}; "
+            f"known: {sorted(FAULTS)}"
+        )
+    report = run_validation(
+        seed=args.seed,
+        count=args.scenarios,
+        workers=args.workers,
+        fault=args.plant_fault,
+        repro_dir=args.repro_dir,
+    )
+    if not args.json:
+        print(f"{report.count - len(report.failures)}/{report.count} "
+              f"scenarios clean (seed {report.seed}, "
+              f"{len(report.violations)} violations)")
+        if report.repro_path:
+            print(f"repro file: {report.repro_path}")
+    report.raise_on_failure()
+    return {
+        "experiment": "validate",
+        "results": {
+            "scenarios": report.count,
+            "violations": 0,
+            "fault": report.fault,
+        },
+    }
 
 
 def _add_telemetry_flag(subparser: argparse.ArgumentParser) -> None:
@@ -636,6 +733,48 @@ def build_parser() -> argparse.ArgumentParser:
                              "instead of leaving them in place")
     _add_json_flag(verify)
     verify.set_defaults(handler=_cmd_trace_verify)
+
+    validate = commands.add_parser(
+        "validate",
+        help="fuzz the simulator against its invariant oracles",
+        description="Generate seed-addressed random scenarios and "
+                    "check every one against the simulator's "
+                    "invariants (monotone time, on-grid frequencies, "
+                    "exact PMU cadence, Shannon-bounded capacity, "
+                    "telemetry transparency).  Failures are shrunk to "
+                    "a minimal scenario and written as a replayable "
+                    "repro file.  Exit 2 on any violation.",
+    )
+    # Accepted here as well as globally, so the natural spelling
+    # ``repro validate --seed 1 --scenarios 500`` works; SUPPRESS
+    # leaves the global value untouched when the flag is absent.
+    validate.add_argument("--seed", type=int,
+                          default=argparse.SUPPRESS,
+                          help="experiment seed (default 0)")
+    validate.add_argument("--workers", type=int,
+                          default=argparse.SUPPRESS,
+                          help="processes for scenario fan-out "
+                               "(0 = all CPUs)")
+    validate.add_argument("--scenarios", type=int, default=100,
+                          help="number of fuzzed scenarios (default "
+                               "100)")
+    validate.add_argument("--repro-dir", metavar="DIR", default=None,
+                          help="where to write the shrunk repro file "
+                               "for the first failure")
+    validate.add_argument("--plant-fault", metavar="NAME", default=None,
+                          help="arm a named fault injector in every "
+                               "scenario (canary mode: the run MUST "
+                               "fail)")
+    validate.add_argument("--replay", metavar="FILE", default=None,
+                          help="re-run a repro file instead of "
+                               "fuzzing; exit 0 if the recorded "
+                               "failure reproduces")
+    validate.add_argument("--differential", action="store_true",
+                          help="run the differential suite (serial vs "
+                               "parallel, cold vs warm store, live vs "
+                               "replay) instead of fuzzing")
+    _add_json_flag(validate)
+    validate.set_defaults(handler=_cmd_validate)
 
     return parser
 

@@ -40,6 +40,40 @@ class CapacityPoint:
     capacity_bps: float
     bits: int
 
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.ConfigError` on an impossible
+        point.
+
+        The checks are information-theoretic, not empirical: a BER is a
+        probability, and Shannon caps a binary symmetric channel's
+        capacity at its raw rate — no measurement may exceed either.
+        The validation oracles lean on this to catch decoder or
+        bookkeeping regressions that would silently inflate results.
+        """
+        from ..errors import ConfigError
+
+        if self.interval_ms <= 0.0 or self.bits < 0:
+            raise ConfigError(
+                f"capacity point has impossible shape: interval "
+                f"{self.interval_ms} ms, {self.bits} bits"
+            )
+        if not 0.0 <= self.error_rate <= 1.0:
+            raise ConfigError(
+                f"bit error rate {self.error_rate} is not a probability"
+            )
+        if self.capacity_bps < 0.0:
+            raise ConfigError(
+                f"capacity {self.capacity_bps} bit/s is negative"
+            )
+        # Allow one ulp of slack: capacity is computed from raw rate by
+        # a float multiply, which may round up at error_rate == 0.
+        bound = self.raw_rate_bps * (1.0 + 1e-12)
+        if self.capacity_bps > bound:
+            raise ConfigError(
+                f"capacity {self.capacity_bps} bit/s exceeds the "
+                f"Shannon bound {self.raw_rate_bps} bit/s"
+            )
+
 
 @dataclass(frozen=True)
 class SweepResult:

@@ -33,6 +33,7 @@ from ..telemetry.registry import MetricsRegistry
 
 __all__ = [
     "Trial",
+    "TrialFailure",
     "run_trials",
     "map_trials",
     "trial_seeds",
@@ -72,6 +73,24 @@ def trial_rngs(seed: int, labels: Iterable[str]):
     return tuple(child_rng(seed, label) for label in labels)
 
 
+@dataclass(frozen=True)
+class TrialFailure:
+    """What a crashed trial left behind (``on_error="collect"``).
+
+    Takes the crashed trial's slot in the results list so the survivors
+    keep their submission-order positions.  Carries enough to diagnose
+    and to re-run: the trial index, the exception type name and message.
+    Falsy, so ``[r for r in results if r]`` drops failures.
+    """
+
+    index: int
+    error_type: str
+    message: str
+
+    def __bool__(self) -> bool:
+        return False
+
+
 def resolve_workers(workers: int | None) -> int:
     """Normalise a worker-count request.
 
@@ -103,8 +122,48 @@ def _invoke_instrumented(trial: Trial) -> tuple[Any, dict]:
     return result, registry.deterministic_snapshot()
 
 
+def _invoke_guarded(indexed: tuple[int, Trial]) -> tuple[Any, dict | None]:
+    """Worker shim for ``on_error="collect"``: never raises.
+
+    A crash inside the trial comes back as a :class:`TrialFailure`
+    instead of poisoning the whole pool.map, so one bad trial cannot
+    take down its siblings' results.
+    """
+    index, trial = indexed
+    try:
+        return trial(), None
+    except Exception as exc:  # noqa: BLE001 - the point is containment
+        return TrialFailure(
+            index=index,
+            error_type=type(exc).__name__,
+            message=str(exc),
+        ), None
+
+
+def _invoke_guarded_instrumented(
+    indexed: tuple[int, Trial],
+) -> tuple[Any, dict | None]:
+    """Guarded + per-trial registry.  A crashed trial contributes *no*
+    metrics (its partial registry is discarded), so the caller's
+    aggregate stays identical to a serial run that failed the same way.
+    """
+    index, trial = indexed
+    registry = MetricsRegistry()
+    try:
+        with using(registry):
+            result = trial()
+    except Exception as exc:  # noqa: BLE001 - the point is containment
+        return TrialFailure(
+            index=index,
+            error_type=type(exc).__name__,
+            message=str(exc),
+        ), None
+    return result, registry.deterministic_snapshot()
+
+
 def run_trials(trials: Sequence[Trial] | Iterable[Trial], *,
-               workers: int | None = 1) -> list[Any]:
+               workers: int | None = 1,
+               on_error: str = "raise") -> list[Any]:
     """Run every trial and return the results in submission order.
 
     With ``workers`` <= 1 (or a single trial) everything runs inline in
@@ -119,10 +178,41 @@ def run_trials(trials: Sequence[Trial] | Iterable[Trial], *,
     snapshots are merged into the caller's registry in submission
     order — so the aggregated metrics, like the results, are identical
     for every worker count.
+
+    ``on_error`` picks the failure policy:
+
+    * ``"raise"`` (default) — the first trial exception propagates to
+      the caller; the pool shuts down cleanly and no partial metric
+      snapshots are merged.
+    * ``"collect"`` — a crashed trial yields a :class:`TrialFailure`
+      in its submission-order slot and the remaining trials still run;
+      the scenario fuzzer uses this so one broken scenario cannot mask
+      the other 499.
     """
+    if on_error not in ("raise", "collect"):
+        raise ConfigError(
+            f"on_error must be 'raise' or 'collect', got {on_error!r}"
+        )
     trials = list(trials)
     count = resolve_workers(workers)
     parent = active_registry()
+    if on_error == "collect":
+        invoke = (_invoke_guarded if parent is None
+                  else _invoke_guarded_instrumented)
+        indexed = list(enumerate(trials))
+        if count <= 1 or len(trials) <= 1:
+            pairs = [invoke(item) for item in indexed]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(count, len(trials))
+            ) as pool:
+                pairs = list(pool.map(invoke, indexed))
+        results = []
+        for result, snapshot in pairs:
+            if snapshot is not None and parent is not None:
+                parent.merge_snapshot(snapshot)
+            results.append(result)
+        return results
     if parent is None:
         if count <= 1 or len(trials) <= 1:
             return [trial() for trial in trials]

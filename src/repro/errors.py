@@ -86,3 +86,12 @@ class TraceStoreError(TraceError):
     longer exists on disk, or a replay asks for a key that was never
     recorded.  The store stays usable after the error.
     """
+
+
+class ValidationError(ReproError):
+    """A fuzzed scenario violated a simulator invariant.
+
+    Raised by the :mod:`repro.validate` runner (and the ``repro
+    validate`` CLI) when an oracle reports a violation, after the
+    failing scenario has been shrunk and written out as a repro file.
+    """

@@ -55,6 +55,16 @@ class FrequencyTimeline:
         self._times.append(time_ns)
         self._freqs.append(freq_mhz)
 
+    def points(self) -> tuple[tuple[int, int], ...]:
+        """Every recorded ``(time_ns, freq_mhz)`` change point, in order.
+
+        The first point is the construction-time initial frequency.
+        This is the raw material of the validation oracles: frequency
+        values must sit on the configured operating-point grid and the
+        times must never run backwards.
+        """
+        return tuple(zip(self._times, self._freqs))
+
     def frequency_at(self, time_ns: int) -> int:
         """The frequency in force at ``time_ns``."""
         index = bisect.bisect_right(self._times, time_ns) - 1

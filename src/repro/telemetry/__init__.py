@@ -33,7 +33,12 @@ from .collect import (
     harvest_system,
 )
 from .context import activate, active_registry, deactivate, using
-from .manifest import RunManifest, build_manifest, config_digest
+from .manifest import (
+    RunManifest,
+    build_manifest,
+    config_digest,
+    registry_digest,
+)
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
 
 __all__ = [
@@ -52,5 +57,6 @@ __all__ = [
     "harvest_engine",
     "harvest_socket",
     "harvest_system",
+    "registry_digest",
     "using",
 ]

@@ -11,11 +11,17 @@ prints the same record in ``--json`` mode.
 from __future__ import annotations
 
 import hashlib
+import json
 from dataclasses import dataclass
 
 from .registry import MetricsRegistry
 
-__all__ = ["RunManifest", "build_manifest", "config_digest"]
+__all__ = [
+    "RunManifest",
+    "build_manifest",
+    "config_digest",
+    "registry_digest",
+]
 
 
 def config_digest(config) -> str | None:
@@ -27,6 +33,22 @@ def config_digest(config) -> str | None:
     if config is None:
         return None
     return hashlib.sha256(repr(config).encode()).hexdigest()[:16]
+
+
+def registry_digest(registry: MetricsRegistry) -> str:
+    """A short digest of a registry's deterministic snapshot.
+
+    Two registries share a digest exactly when they collected identical
+    metrics.  The validation harness compares this across telemetry-on
+    re-runs and across worker counts: telemetry is contractually
+    observational, so the digest must not vary with either.
+    """
+    material = json.dumps(
+        registry.deterministic_snapshot(),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass(frozen=True)

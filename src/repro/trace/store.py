@@ -76,10 +76,14 @@ class VerifyReport:
     ok: tuple[str, ...]
     missing: tuple[str, ...]
     corrupt: tuple[str, ...]
+    #: Index entries that do not parse (truncated or bit-flipped JSON).
+    #: The blob they pointed at may still be perfectly good; the entry
+    #: itself is untrustworthy and gets quarantined on request.
+    bad_entries: tuple[str, ...] = ()
 
     @property
     def clean(self) -> bool:
-        return not self.missing and not self.corrupt
+        return not (self.missing or self.corrupt or self.bad_entries)
 
 
 class TraceStore:
@@ -174,10 +178,19 @@ class TraceStore:
         return (max(ticks) + 1) if ticks else 1
 
     def entries(self) -> list[StoreEntry]:
-        """All index entries, sorted by key."""
+        """All *readable* index entries, sorted by key.
+
+        An entry file that no longer parses (truncated write, bit rot)
+        is skipped — never surfaced as wrong data and never allowed to
+        wedge ``ls``/``gc``/``put`` — and left in place on disk so
+        :meth:`verify` can report it as ``bad_entries``.
+        """
         result = []
         for path in sorted(self._index.glob("*.json")):
-            entry = self._read_entry(path.stem)
+            try:
+                entry = self._read_entry(path.stem)
+            except TraceStoreError:
+                continue
             if entry is not None:
                 result.append(entry)
         return result
@@ -236,7 +249,13 @@ class TraceStore:
         whose blob is missing from disk.
         """
         blob = self.blob_path(key)
-        entry = self._read_entry(key)
+        try:
+            entry = self._read_entry(key)
+        except TraceStoreError:
+            # The index entry is damaged but the blob carries its own
+            # CRC: quarantine the untrustworthy entry and keep serving.
+            self._quarantine_entry(key)
+            entry = None
         if not blob.exists():
             if entry is not None:
                 self._entry_path(key).unlink(missing_ok=True)
@@ -283,14 +302,21 @@ class TraceStore:
 
     # -- maintenance --------------------------------------------------
 
+    def _quarantine_entry(self, key: str) -> None:
+        """Move an index-entry file aside (evidence, never deletion)."""
+        path = self._entry_path(key)
+        if path.exists():
+            self._quarantine.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self._quarantine / path.name)
+
     def quarantine(self, key: str) -> Path:
-        """Move a blob out of the blob dir; drop its index entry."""
+        """Move a blob out of the blob dir; move its entry aside too."""
         self._quarantine.mkdir(parents=True, exist_ok=True)
         blob = self.blob_path(key)
         target = self._quarantine / blob.name
         if blob.exists():
             os.replace(blob, target)
-        self._entry_path(key).unlink(missing_ok=True)
+        self._quarantine_entry(key)
         _count("quarantined")
         return target
 
@@ -317,22 +343,35 @@ class TraceStore:
         return evicted
 
     def verify(self) -> VerifyReport:
-        """Integrity-check every indexed corpus without mutating it."""
+        """Integrity-check every indexed corpus without mutating it.
+
+        Walks the raw index directory (not :meth:`entries`, which
+        skips unreadable files) so damaged index entries are *reported*
+        rather than silently ignored.
+        """
         ok: list[str] = []
         missing: list[str] = []
         corrupt: list[str] = []
-        for entry in self.entries():
-            blob = self.blob_path(entry.key)
+        bad_entries: list[str] = []
+        for path in sorted(self._index.glob("*.json")):
+            key = path.stem
+            try:
+                self._read_entry(key)
+            except TraceStoreError:
+                bad_entries.append(key)
+                continue
+            blob = self.blob_path(key)
             if not blob.exists():
-                missing.append(entry.key)
+                missing.append(key)
                 continue
             try:
                 for _ in TraceReader(blob):
                     pass
             except TraceError:
-                corrupt.append(entry.key)
+                corrupt.append(key)
             else:
-                ok.append(entry.key)
+                ok.append(key)
         return VerifyReport(
-            ok=tuple(ok), missing=tuple(missing), corrupt=tuple(corrupt)
+            ok=tuple(ok), missing=tuple(missing),
+            corrupt=tuple(corrupt), bad_entries=tuple(bad_entries),
         )

@@ -1,0 +1,217 @@
+"""Differential checks: two paths that must produce identical bits.
+
+The simulator's headline guarantee is not "roughly the same" but
+*bit-identical*: serial and parallel runs, cold and warm trace caches,
+live simulation and store replay all promise the exact same result
+objects.  Each check here exercises one such pair on a deliberately
+small workload and deep-compares the outputs with
+:func:`equal_results`, which refuses to call two floats equal unless
+they are the same float.
+
+The checks double as building blocks: ``repro validate --differential``
+runs :func:`run_differential_suite`, and the differential test module
+drives the individual checks with larger fixtures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "DifferentialReport",
+    "check_cold_vs_warm_store",
+    "check_live_vs_replay",
+    "check_serial_vs_parallel_capacity",
+    "check_serial_vs_parallel_defenses",
+    "check_serial_vs_parallel_matrix",
+    "equal_results",
+    "run_differential_suite",
+]
+
+
+@dataclass(frozen=True)
+class DifferentialReport:
+    """Outcome of one A/B comparison."""
+
+    name: str
+    matched: bool
+    detail: str = ""
+
+
+def equal_results(a: object, b: object) -> bool:
+    """Deep bit-exact equality over experiment result objects.
+
+    Handles dataclasses (field by field), numpy arrays (shape, dtype
+    and values — NaNs compare equal to NaNs, because a replayed NaN is
+    a faithful replay), mappings and sequences.  Floats compare with
+    ``==``: differential identity means *identical*, not close.
+    """
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        if not (isinstance(a, np.ndarray) and isinstance(b, np.ndarray)):
+            return False
+        if a.shape != b.shape or a.dtype != b.dtype:
+            return False
+        if a.dtype.kind == "f":
+            return bool(np.array_equal(a, b, equal_nan=True))
+        return bool(np.array_equal(a, b))
+    if dataclasses.is_dataclass(a) and not isinstance(a, type):
+        if type(a) is not type(b):
+            return False
+        return all(
+            equal_results(getattr(a, f.name), getattr(b, f.name))
+            for f in dataclasses.fields(a)
+        )
+    if isinstance(a, dict):
+        if not isinstance(b, dict) or a.keys() != b.keys():
+            return False
+        return all(equal_results(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)):
+        if type(a) is not type(b) or len(a) != len(b):
+            return False
+        return all(equal_results(x, y) for x, y in zip(a, b))
+    return bool(a == b)
+
+
+def _report(name: str, a: object, b: object, detail: str
+            ) -> DifferentialReport:
+    matched = equal_results(a, b)
+    return DifferentialReport(
+        name=name,
+        matched=matched,
+        detail=detail if matched else f"MISMATCH: {detail}",
+    )
+
+
+def check_serial_vs_parallel_capacity(
+    seed: int = 0, *,
+    intervals_ms: tuple[float, ...] = (21.0, 15.0),
+    bits: int = 6,
+) -> DifferentialReport:
+    """``capacity_sweep`` with 1 worker vs a process pool."""
+    from ..core.evaluation import capacity_sweep
+
+    serial = capacity_sweep(
+        intervals_ms=intervals_ms, bits=bits, seed=seed, workers=1
+    )
+    parallel = capacity_sweep(
+        intervals_ms=intervals_ms, bits=bits, seed=seed, workers=2
+    )
+    return _report(
+        "serial-vs-parallel:capacity", serial, parallel,
+        f"{len(intervals_ms)} sweep points, {bits} bits",
+    )
+
+
+def check_serial_vs_parallel_defenses(
+    seed: int = 0, *,
+    defenses: tuple[str, ...] = ("none", "fixed_max"),
+    bits: int = 6,
+) -> DifferentialReport:
+    """``evaluate_defenses`` with 1 worker vs a process pool."""
+    from ..defenses.evaluation import evaluate_defenses
+
+    serial = evaluate_defenses(
+        defenses=defenses, bits=bits, seed=seed, workers=1
+    )
+    parallel = evaluate_defenses(
+        defenses=defenses, bits=bits, seed=seed, workers=2
+    )
+    return _report(
+        "serial-vs-parallel:defenses", serial, parallel,
+        f"defenses {defenses}, {bits} bits",
+    )
+
+
+def check_serial_vs_parallel_matrix(seed: int = 0, *,
+                                    bits: int = 8) -> DifferentialReport:
+    """A 2x2 corner of ``comparison_matrix``, serial vs pooled."""
+    from ..channels.comparison import comparison_matrix
+    from ..channels.scenarios import SCENARIOS
+    from ..channels.flush_reload import FlushReloadChannel
+    from ..channels.prime_probe import PrimeProbeChannel
+
+    channels = (FlushReloadChannel, PrimeProbeChannel)
+    scenarios = SCENARIOS[:2]
+    serial = comparison_matrix(
+        channels=channels, scenarios=scenarios, bits=bits,
+        seed=seed, workers=1,
+    )
+    parallel = comparison_matrix(
+        channels=channels, scenarios=scenarios, bits=bits,
+        seed=seed, workers=2,
+    )
+    return _report(
+        "serial-vs-parallel:comparison-matrix", serial, parallel,
+        "2 channels x 2 scenarios",
+    )
+
+
+def check_cold_vs_warm_store(workdir, seed: int = 0, *,
+                             num_sites: int = 2,
+                             trace_ms: float = 300.0
+                             ) -> DifferentialReport:
+    """``collect_dataset`` simulating vs replaying its own cache.
+
+    The first collection populates a fresh :class:`TraceStore`; the
+    second must be served entirely from it and return the identical
+    dataset.
+    """
+    from ..sidechannel.fingerprint import collect_dataset
+
+    root = Path(workdir) / "cold-warm-store"
+    kwargs = dict(
+        num_sites=num_sites, train_visits=1, test_visits=1,
+        trace_ms=trace_ms, seed=seed, workers=1,
+        per_site_systems=True, cache_dir=root,
+    )
+    cold = collect_dataset(**kwargs)
+    warm = collect_dataset(**kwargs)
+    return _report(
+        "cold-vs-warm:trace-store", cold, warm,
+        f"{num_sites} sites x 2 visits, {trace_ms:g} ms traces",
+    )
+
+
+def check_live_vs_replay(workdir, seed: int = 0, *,
+                         num_sites: int = 2,
+                         trace_ms: float = 300.0) -> DifferentialReport:
+    """Live sharded collection vs pure store replay.
+
+    :func:`fingerprint_dataset_from_store` reassembles the dataset from
+    blobs alone — no simulation — and must reproduce the live dataset
+    bit for bit.
+    """
+    from ..sidechannel.fingerprint import collect_dataset
+    from ..trace.replay import fingerprint_dataset_from_store
+    from ..trace.store import TraceStore
+
+    root = Path(workdir) / "live-replay-store"
+    live = collect_dataset(
+        num_sites=num_sites, train_visits=1, test_visits=1,
+        trace_ms=trace_ms, seed=seed, workers=1,
+        per_site_systems=True, cache_dir=root,
+    )
+    replayed = fingerprint_dataset_from_store(
+        TraceStore(root),
+        num_sites=num_sites, train_visits=1, test_visits=1,
+        trace_ms=trace_ms, seed=seed, sharded=True,
+    )
+    return _report(
+        "live-vs-replay:fingerprint", live, replayed,
+        f"{num_sites} sites, {trace_ms:g} ms traces",
+    )
+
+
+def run_differential_suite(workdir, seed: int = 0
+                           ) -> list[DifferentialReport]:
+    """The fast subset behind ``repro validate --differential``."""
+    return [
+        check_serial_vs_parallel_capacity(seed),
+        check_serial_vs_parallel_defenses(seed),
+        check_cold_vs_warm_store(workdir, seed),
+        check_live_vs_replay(workdir, seed),
+    ]

@@ -1,0 +1,111 @@
+"""Differential tests: every paired execution path is bit-identical.
+
+Extends the serial==parallel guarantee beyond ``capacity_sweep`` to
+``evaluate_defenses``, ``comparison_matrix`` and ``collect_dataset``,
+and checks both trace-store pairs (cold vs warm cache, live vs pure
+replay).  Also unit-tests :func:`equal_results`, the comparator all of
+those checks rely on — if it ever went soft, the differential suite
+would pass vacuously.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.validate import equal_results
+from repro.validate.differential import (
+    check_cold_vs_warm_store,
+    check_live_vs_replay,
+    check_serial_vs_parallel_capacity,
+    check_serial_vs_parallel_defenses,
+    check_serial_vs_parallel_matrix,
+    run_differential_suite,
+)
+
+
+class TestEqualResults:
+    def test_scalars(self):
+        assert equal_results(1, 1)
+        assert equal_results("x", "x")
+        assert not equal_results(1, 2)
+
+    def test_floats_are_exact(self):
+        assert equal_results(0.1 + 0.2, 0.1 + 0.2)
+        assert not equal_results(0.1 + 0.2, 0.3)
+
+    def test_nan_arrays_compare_equal(self):
+        a = np.array([1.0, np.nan])
+        assert equal_results(a, a.copy())
+
+    def test_dtype_mismatch_is_unequal(self):
+        assert not equal_results(
+            np.array([1, 2], dtype=np.int64),
+            np.array([1, 2], dtype=np.float64),
+        )
+
+    def test_shape_mismatch_is_unequal(self):
+        assert not equal_results(np.zeros(3), np.zeros((3, 1)))
+
+    def test_array_vs_list_is_unequal(self):
+        assert not equal_results(np.array([1.0]), [1.0])
+
+    def test_dataclasses_compare_fieldwise(self):
+        @dataclass
+        class Point:
+            xs: np.ndarray
+            tag: str
+
+        a = Point(np.array([1.0, 2.0]), "a")
+        b = Point(np.array([1.0, 2.0]), "a")
+        c = Point(np.array([1.0, 2.5]), "a")
+        assert equal_results(a, b)
+        assert not equal_results(a, c)
+
+    def test_nested_containers(self):
+        a = {"k": [np.array([1.0]), (2, 3)]}
+        b = {"k": [np.array([1.0]), (2, 3)]}
+        assert equal_results(a, b)
+        assert not equal_results(a, {"k": [np.array([1.0]), (2, 4)]})
+        assert not equal_results({"k": 1}, {"j": 1})
+
+
+class TestSerialVsParallel:
+    def test_capacity_sweep(self):
+        report = check_serial_vs_parallel_capacity(seed=3)
+        assert report.matched, report.detail
+
+    def test_evaluate_defenses(self):
+        report = check_serial_vs_parallel_defenses(
+            seed=1, defenses=("none", "randomized"), bits=6
+        )
+        assert report.matched, report.detail
+
+    def test_comparison_matrix(self):
+        report = check_serial_vs_parallel_matrix(seed=2, bits=6)
+        assert report.matched, report.detail
+
+
+class TestTraceStorePaths:
+    def test_cold_vs_warm_collect_dataset(self, tmp_path):
+        report = check_cold_vs_warm_store(tmp_path, seed=5)
+        assert report.matched, report.detail
+
+    def test_live_vs_replay(self, tmp_path):
+        report = check_live_vs_replay(tmp_path, seed=5)
+        assert report.matched, report.detail
+
+
+class TestSuite:
+    def test_suite_is_all_green(self, tmp_path):
+        reports = run_differential_suite(tmp_path, seed=0)
+        assert len(reports) == 4
+        bad = [r for r in reports if not r.matched]
+        assert not bad, bad
+
+    def test_mismatch_is_labelled(self):
+        from repro.validate.differential import _report
+
+        report = _report("x", 1.0, 2.0, "one vs two")
+        assert not report.matched
+        assert report.detail.startswith("MISMATCH")
