@@ -14,12 +14,18 @@ Two paired measurements, each with a budget; exit 1 when either fails:
   must be at least ``--trace-speedup`` (default 10) times faster than
   the cold run, or the cache has stopped paying for itself.
   ``--skip-trace-cache`` omits the gate.
+* **Resilience overhead** — a capacity sweep plain versus the same
+  sweep under a no-fault retry policy and a fresh checkpoint.  When
+  nothing fails, the retry and checkpoint machinery must cost within
+  the tolerance (default 5 %) of the plain run and return identical
+  results.  ``--skip-resilience`` omits the gate.
 
 Usage::
 
     python benchmarks/check_regression.py [--tolerance 0.05]
         [--against-baseline] [--baseline BENCH_baseline.json]
         [--trace-speedup 10] [--skip-trace-cache]
+        [--skip-resilience]
 """
 
 from __future__ import annotations
@@ -97,6 +103,44 @@ def measure_trace_cache() -> tuple[float, float]:
     return cold_s, warm_s
 
 
+def measure_resilience_overhead() -> tuple[float, float]:
+    """Wall-time a sweep plain versus retry+checkpoint, no faults.
+
+    The resilient run uses a zero-backoff retry policy and a cold
+    checkpoint directory, so everything it does beyond the plain run —
+    policy bookkeeping, per-point pickling, atomic flushes — is pure
+    overhead.  Medians of three keep a stray scheduler hiccup from
+    failing the gate.  A results mismatch is reported as its own
+    failure: the machinery must be invisible, not just cheap.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.core.evaluation import capacity_sweep  # noqa: E402
+    from repro.resilience import RetryPolicy  # noqa: E402
+
+    shape = dict(intervals_ms=(28.0, 24.0), bits=16, seed=0)
+    policy = RetryPolicy(max_attempts=2, base_backoff_s=0.0)
+
+    def timed(**kwargs) -> tuple[float, object]:
+        start = time.perf_counter()
+        sweep = capacity_sweep(**shape, **kwargs)
+        return time.perf_counter() - start, sweep
+
+    plain_times, resilient_times = [], []
+    for _ in range(3):
+        plain_s, plain = timed()
+        with tempfile.TemporaryDirectory() as ckpt:
+            resilient_s, resilient = timed(checkpoint_dir=ckpt,
+                                           retry=policy)
+        if resilient.points != plain.points:
+            raise SystemExit(
+                "retry+checkpoint sweep diverged from the plain run — "
+                "the determinism contract is broken, not just slow"
+            )
+        plain_times.append(plain_s)
+        resilient_times.append(resilient_s)
+    return min(plain_times), min(resilient_times)
+
+
 def baseline_median(path: Path) -> float:
     data = json.loads(path.read_text())
     for bench in data["benchmarks"]:
@@ -120,6 +164,9 @@ def main(argv: list[str] | None = None) -> int:
                              "speedup (default 10)")
     parser.add_argument("--skip-trace-cache", action="store_true",
                         help="skip the trace-cache speedup gate")
+    parser.add_argument("--skip-resilience", action="store_true",
+                        help="skip the no-fault resilience overhead "
+                             "gate")
     args = parser.parse_args(argv)
 
     medians = run_benchmarks()
@@ -155,6 +202,18 @@ def main(argv: list[str] | None = None) -> int:
         if speedup < args.trace_speedup:
             print("FAIL: trace-cache hit path is under the speedup "
                   "budget")
+            failed = True
+
+    if not args.skip_resilience:
+        plain_s, resilient_s = measure_resilience_overhead()
+        resilience = resilient_s / plain_s - 1.0
+        print(f"sweep plain:       {plain_s * 1e3:8.1f} ms")
+        print(f"sweep resilient:   {resilient_s * 1e3:8.1f} ms")
+        print(f"resilience cost:   {100 * resilience:+8.2f} % "
+              f"(tolerance {100 * args.tolerance:.0f} %)")
+        if resilience > args.tolerance:
+            print("FAIL: no-fault retry/checkpoint overhead exceeds "
+                  "tolerance")
             failed = True
 
     if not failed:

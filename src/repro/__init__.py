@@ -35,7 +35,10 @@ Layer map (bottom up):
 * :mod:`repro.trace` — trace capture, the content-addressed corpus
   store and deterministic replay;
 * :mod:`repro.validate` — the scenario fuzzer, invariant oracles and
-  differential checks behind ``repro validate``.
+  differential checks behind ``repro validate``;
+* :mod:`repro.resilience` — retry policies, checkpoint/resume, the
+  trace-store circuit breaker, adaptive ARQ and the ``repro chaos``
+  fault matrix.
 
 Import surface: this top-level package re-exports the working set —
 the system (:class:`System`, :class:`PlatformConfig`,
@@ -70,12 +73,14 @@ from .core import (
 )
 from .telemetry import MetricsRegistry
 from .trace import TraceStore
+from .resilience import Checkpoint, CircuitBreaker, RetryPolicy
 from .errors import (
     ChannelError,
     ConfigError,
     PrerequisiteError,
     PrivilegeError,
     ReproError,
+    ResilienceError,
     TraceError,
     ValidationError,
 )
@@ -86,6 +91,8 @@ __all__ = [
     "Actor",
     "ChannelConfig",
     "ChannelError",
+    "Checkpoint",
+    "CircuitBreaker",
     "ConfigError",
     "ExperimentContext",
     "MetricsRegistry",
@@ -93,6 +100,8 @@ __all__ = [
     "PrerequisiteError",
     "PrivilegeError",
     "ReproError",
+    "ResilienceError",
+    "RetryPolicy",
     "SecurityConfig",
     "SenderMode",
     "SweepResult",

@@ -14,6 +14,8 @@
     python -m repro trace ls --cache-dir traces/
     python -m repro validate --scenarios 500 --seed 1
     python -m repro validate --differential
+    python -m repro capacity --resume ckpt/ --retries 2
+    python -m repro chaos --workers 2
 
 Every subcommand accepts ``--seed`` for reproducibility and prints the
 same row format the benchmark harness uses.  ``--workers N`` (or
@@ -36,6 +38,16 @@ snapshot — as one JSON line to PATH.  The experiment commands also take
 ``--json``, replacing the human tables with the manifest (including the
 results) on stdout.  Telemetry is strictly observational: results are
 byte-identical with it on or off.
+
+Resilience: the long-running commands (``capacity``, ``defenses``,
+``fingerprint``, ``validate``) take ``--resume DIR`` — completed
+trials are checkpointed there atomically, and re-running the same
+command resumes past them with bit-identical results.  ``capacity``
+and ``defenses`` also take ``--retries N`` to re-run transient worker
+crashes in place.  ``repro chaos`` injects the whole fault matrix
+(crashed trials, killed workers, interrupted sweeps, corrupt and torn
+trace stores, stressed channels) and exits non-zero unless every fault
+is contained.
 """
 
 from __future__ import annotations
@@ -148,6 +160,16 @@ def _cmd_characterize(args: argparse.Namespace) -> dict:
     }
 
 
+def _resolve_retry(args: argparse.Namespace):
+    """``--retries N`` → a RetryPolicy allowing N re-runs (N+1 attempts)."""
+    retries = getattr(args, "retries", 0)
+    if not retries:
+        return None
+    from .resilience import RetryPolicy
+
+    return RetryPolicy(max_attempts=retries + 1)
+
+
 def _cmd_capacity(args: argparse.Namespace) -> dict:
     from .core.evaluation import DEFAULT_INTERVALS_MS, capacity_sweep
 
@@ -160,6 +182,8 @@ def _cmd_capacity(args: argparse.Namespace) -> dict:
         cross_processor=args.cross_processor,
         seed=args.seed,
         workers=args.workers,
+        checkpoint_dir=args.resume,
+        retry=_resolve_retry(args),
     )
     if not args.json:
         rows = [
@@ -213,7 +237,8 @@ def _cmd_defenses(args: argparse.Namespace) -> dict:
     from .defenses import analytics_energy_overhead, evaluate_defenses
 
     reports = evaluate_defenses(
-        bits=args.bits, seed=args.seed, workers=args.workers
+        bits=args.bits, seed=args.seed, workers=args.workers,
+        checkpoint_dir=args.resume, retry=_resolve_retry(args),
     )
     if not args.json:
         rows = [
@@ -247,6 +272,7 @@ def _cmd_fingerprint(args: argparse.Namespace) -> dict:
         num_sites=args.sites, train_visits=3, test_visits=2,
         trace_ms=args.trace_ms, seed=args.seed, workers=args.workers,
         cache_dir=_resolve_cache_dir(args),
+        checkpoint_dir=args.resume,
     )
     result = run_fingerprinting_study(
         dataset,
@@ -529,6 +555,7 @@ def _cmd_validate(args: argparse.Namespace) -> dict:
         workers=args.workers,
         fault=args.plant_fault,
         repro_dir=args.repro_dir,
+        checkpoint_dir=args.resume,
     )
     if not args.json:
         print(f"{report.count - len(report.failures)}/{report.count} "
@@ -545,6 +572,80 @@ def _cmd_validate(args: argparse.Namespace) -> dict:
             "fault": report.fault,
         },
     }
+
+
+def _cmd_chaos(args: argparse.Namespace) -> dict:
+    import tempfile
+
+    from .errors import ResilienceError
+    from .resilience.chaos import CHAOS_FAULTS, run_chaos
+
+    faults = tuple(args.faults) if args.faults else None
+    if faults:
+        unknown = sorted(set(faults) - set(CHAOS_FAULTS))
+        if unknown:
+            raise ResilienceError(
+                f"unknown faults {unknown}; known: {list(CHAOS_FAULTS)}"
+            )
+    if args.workdir:
+        outcomes = run_chaos(
+            args.workdir, seed=args.seed, workers=args.workers,
+            faults=faults,
+        )
+    else:
+        with tempfile.TemporaryDirectory() as workdir:
+            outcomes = run_chaos(
+                workdir, seed=args.seed, workers=args.workers,
+                faults=faults,
+            )
+    contained = sum(1 for o in outcomes if o.contained)
+    if not args.json:
+        rows = [
+            [
+                o.fault,
+                o.mechanism,
+                "contained" if o.contained else "ESCAPED",
+                o.detail,
+            ]
+            for o in outcomes
+        ]
+        print(format_table(
+            ["fault", "mechanism", "verdict", "detail"], rows,
+            title=f"chaos matrix: {contained}/{len(outcomes)} faults "
+                  "contained",
+        ))
+    escaped = [o for o in outcomes if not o.contained]
+    if escaped:
+        raise ResilienceError(
+            f"{len(escaped)} of {len(outcomes)} injected faults "
+            "escaped containment: "
+            + ", ".join(o.fault for o in escaped)
+        )
+    return {
+        "experiment": "chaos",
+        "results": {
+            "outcomes": outcomes,
+            "contained": contained,
+            "total": len(outcomes),
+        },
+    }
+
+
+def _add_resume_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--resume", metavar="DIR", default=None,
+        help="checkpoint completed trials in DIR and skip them when "
+             "re-run with the same parameters (results are "
+             "bit-identical to an uninterrupted run)",
+    )
+
+
+def _add_retries_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="re-run a trial up to N times after a transient worker "
+             "failure before giving up (default 0: fail fast)",
+    )
 
 
 def _add_telemetry_flag(subparser: argparse.ArgumentParser) -> None:
@@ -629,6 +730,8 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="MS", default=None,
                           help="interval lengths (ms) to sweep "
                                "(default: the Figure 10 grid)")
+    _add_resume_flag(capacity)
+    _add_retries_flag(capacity)
     _add_json_flag(capacity)
     capacity.set_defaults(handler=_cmd_capacity)
 
@@ -646,6 +749,8 @@ def build_parser() -> argparse.ArgumentParser:
     defenses.add_argument("--bits", type=int, default=60)
     defenses.add_argument("--energy", action="store_true",
                           help="also run the energy-overhead study")
+    _add_resume_flag(defenses)
+    _add_retries_flag(defenses)
     _add_json_flag(defenses)
     defenses.set_defaults(handler=_cmd_defenses)
 
@@ -654,6 +759,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fingerprint_shape_flags(fingerprint)
     _add_cache_flags(fingerprint)
+    _add_resume_flag(fingerprint)
     _add_json_flag(fingerprint)
     fingerprint.set_defaults(handler=_cmd_fingerprint)
 
@@ -773,14 +879,45 @@ def build_parser() -> argparse.ArgumentParser:
                           help="run the differential suite (serial vs "
                                "parallel, cold vs warm store, live vs "
                                "replay) instead of fuzzing")
+    _add_resume_flag(validate)
     _add_json_flag(validate)
     validate.set_defaults(handler=_cmd_validate)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="inject the fault matrix and prove every fault contained",
+        description="Run every injected fault — crashed trials, killed "
+                    "workers, an interrupted sweep, flipped CRCs, a "
+                    "torn store index, a half-written temp file, a "
+                    "breaker storm and a stressed channel — through "
+                    "the matching resilience mechanism.  Exit 0 only "
+                    "if every fault is contained with bit-identical "
+                    "results.",
+    )
+    chaos.add_argument("--seed", type=int,
+                       default=argparse.SUPPRESS,
+                       help="experiment seed (default 0)")
+    chaos.add_argument("--workers", type=int,
+                       default=argparse.SUPPRESS,
+                       help="processes for the pool-rebuild checks "
+                            "(0 = all CPUs)")
+    chaos.add_argument("--workdir", metavar="DIR", default=None,
+                       help="keep the chaos scratch state (stores, "
+                            "checkpoints) in DIR instead of a "
+                            "temporary directory")
+    chaos.add_argument("--faults", metavar="NAME", nargs="+",
+                       default=None,
+                       help="run only these faults (default: all)")
+    _add_json_flag(chaos)
+    chaos.set_defaults(handler=_cmd_chaos)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
+    from concurrent.futures.process import BrokenProcessPool
+
     from .config import RunnerConfig, default_platform_config
     from .errors import ReproError
 
@@ -822,6 +959,19 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenProcessPool:
+        # A worker died hard enough that the retry machinery could not
+        # rebuild around it (or the command does not retry).
+        print("error: a worker process died (killed by the OS or out "
+              "of memory) — reduce --workers, add --retries, or "
+              "re-run with --resume to pick up where it stopped",
+              file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        # Conventional 128 + SIGINT.  Checkpointed commands flush on
+        # the way out, so an interrupted run resumes with --resume.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

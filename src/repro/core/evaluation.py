@@ -14,8 +14,9 @@ from dataclasses import asdict, dataclass
 
 import numpy as np
 
-from ..config import PlatformConfig
-from ..engine.parallel import Trial, run_trials
+from ..config import PlatformConfig, default_platform_config
+from ..engine.parallel import Trial, TrialFailure, run_trials
+from ..errors import ResilienceError
 from ..platform.system import System
 from ..rng import child_rng
 from ..units import ms
@@ -183,6 +184,8 @@ def capacity_sweep(
     platform: PlatformConfig | None = None,
     workers: int | None = 1,
     context: ExperimentContext | None = None,
+    checkpoint_dir=None,
+    retry=None,
 ) -> SweepResult:
     """The Figure 10 sweep for one deployment.
 
@@ -190,6 +193,17 @@ def capacity_sweep(
     points are independent trials: ``workers > 1`` fans them out across
     processes and returns the exact same :class:`SweepResult` a serial
     run produces, in interval order.
+
+    ``checkpoint_dir`` makes the sweep resumable: each completed point
+    is recorded to an atomic checkpoint file keyed by the sweep's
+    (platform, params, seed) digest — the trace store's content-address
+    recipe — so a re-run with identical arguments skips the completed
+    intervals and returns a :class:`SweepResult` bit-identical to an
+    uninterrupted run.  ``retry`` (a
+    :class:`~repro.resilience.retry.RetryPolicy`) re-runs transient
+    worker crashes in place; a point still failed after its attempts
+    raises :class:`~repro.errors.ResilienceError` rather than returning
+    a sweep with holes.
     """
     ctx = ExperimentContext.coalesce(
         context, platform=platform, seed=seed, workers=workers
@@ -201,12 +215,38 @@ def capacity_sweep(
             cross_processor=cross_processor,
             seed=ctx.seed,
             platform=ctx.platform,
-        ))
+        ), label=f"interval-{float(interval):g}")
         for interval in intervals_ms
     ]
-    return SweepResult(
-        points=tuple(run_trials(trials, workers=ctx.workers))
+    checkpoint = None
+    if checkpoint_dir is not None:
+        from ..resilience.checkpoint import Checkpoint
+
+        effective = (ctx.platform if ctx.platform is not None
+                     else default_platform_config())
+        checkpoint = Checkpoint.for_experiment(
+            checkpoint_dir, "capacity_sweep",
+            platform=effective,
+            params=dict(
+                intervals_ms=[float(i) for i in intervals_ms],
+                bits=bits,
+                cross_processor=cross_processor,
+            ),
+            seed=ctx.seed,
+        )
+    points = run_trials(
+        trials, workers=ctx.workers,
+        on_error="retry" if retry is not None else "raise",
+        retry=retry, checkpoint=checkpoint,
     )
+    failed = [point for point in points if isinstance(point, TrialFailure)]
+    if failed:
+        raise ResilienceError(
+            f"capacity sweep lost {len(failed)} of {len(points)} points "
+            "after retries: "
+            + ", ".join(f.label or str(f.index) for f in failed)
+        )
+    return SweepResult(points=tuple(points))
 
 
 def peak_capacity(points: Iterable[CapacityPoint]) -> CapacityPoint:

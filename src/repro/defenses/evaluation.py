@@ -20,7 +20,8 @@ from ..core.channel import UFVariationChannel
 from ..core.context import ExperimentContext
 from ..core.evaluation import random_bits
 from ..core.protocol import ChannelConfig
-from ..engine.parallel import Trial, run_trials
+from ..engine.parallel import Trial, TrialFailure, run_trials
+from ..errors import ResilienceError
 from ..platform.system import System
 from ..units import ms, seconds
 from ..workloads.analytics import AnalyticsWorkload
@@ -120,6 +121,8 @@ def evaluate_defenses(*, bits: int = 80, seed: int = 0,
                       platform: PlatformConfig | None = None,
                       workers: int | None = 1,
                       context: ExperimentContext | None = None,
+                      checkpoint_dir=None,
+                      retry=None,
                       ) -> list[DefenseReport]:
     """UF-variation under every countermeasure.
 
@@ -127,6 +130,12 @@ def evaluate_defenses(*, bits: int = 80, seed: int = 0,
     independent trials: ``workers > 1`` evaluates them in parallel
     processes and still returns them in ``defenses`` order,
     bit-identical to the serial run.
+
+    ``checkpoint_dir`` / ``retry`` behave exactly as in
+    :func:`repro.core.evaluation.capacity_sweep`: completed defenses
+    are checkpointed for bit-identical resume, transient crashes are
+    retried, and a defense still failed after its attempts raises
+    :class:`~repro.errors.ResilienceError`.
     """
     ctx = ExperimentContext.coalesce(
         context, platform=platform, seed=seed, workers=workers
@@ -137,10 +146,34 @@ def evaluate_defenses(*, bits: int = 80, seed: int = 0,
             bits=bits,
             seed=ctx.seed,
             platform=ctx.platform,
-        ))
+        ), label=f"defense-{defense}")
         for defense in defenses
     ]
-    return run_trials(trials, workers=ctx.workers)
+    checkpoint = None
+    if checkpoint_dir is not None:
+        from ..resilience.checkpoint import Checkpoint
+
+        effective = (ctx.platform if ctx.platform is not None
+                     else default_platform_config())
+        checkpoint = Checkpoint.for_experiment(
+            checkpoint_dir, "evaluate_defenses",
+            platform=effective,
+            params=dict(bits=bits, defenses=list(defenses)),
+            seed=ctx.seed,
+        )
+    reports = run_trials(
+        trials, workers=ctx.workers,
+        on_error="retry" if retry is not None else "raise",
+        retry=retry, checkpoint=checkpoint,
+    )
+    failed = [r for r in reports if isinstance(r, TrialFailure)]
+    if failed:
+        raise ResilienceError(
+            f"defense evaluation lost {len(failed)} of {len(reports)} "
+            "defenses after retries: "
+            + ", ".join(f.label or str(f.index) for f in failed)
+        )
+    return reports
 
 
 @dataclass(frozen=True)

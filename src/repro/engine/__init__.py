@@ -7,7 +7,14 @@ helpers for periodic tasks (the UFS PMU tick, activity samplers).
 top, for experiments made of independent seeded runs.
 """
 
-from .parallel import Trial, map_trials, resolve_workers, run_trials, trial_seeds
+from .parallel import (
+    Trial,
+    TrialFailure,
+    map_trials,
+    resolve_workers,
+    run_trials,
+    trial_seeds,
+)
 from .periodic import PeriodicTask
 from .simulator import Engine, Event
 
@@ -16,6 +23,7 @@ __all__ = [
     "Event",
     "PeriodicTask",
     "Trial",
+    "TrialFailure",
     "map_trials",
     "resolve_workers",
     "run_trials",

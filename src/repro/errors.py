@@ -88,6 +88,17 @@ class TraceStoreError(TraceError):
     """
 
 
+class ResilienceError(ReproError):
+    """A fault-tolerance mechanism exhausted its containment budget.
+
+    Raised when a retried trial stays failed after its
+    :class:`~repro.resilience.retry.RetryPolicy` runs out of attempts
+    (the alternative — returning a sweep with holes — would let a
+    partial result masquerade as a complete one), and by ``repro
+    chaos`` when an injected fault escapes containment.
+    """
+
+
 class ValidationError(ReproError):
     """A fuzzed scenario violated a simulator invariant.
 

@@ -1,0 +1,221 @@
+"""Adaptive ARQ: bounded interval escalation under sustained frame loss.
+
+:func:`repro.core.framing.send_message_reliable` already retransmits a
+frame until its checksum verifies — but it retransmits *at the same
+bit interval*, so under heavy background stress (Table 2's right-hand
+columns) every attempt fails the same way and the transfer flatlines.
+The paper's own data shows the fix: error rate falls monotonically as
+``interval_ms`` grows (Figure 10), so a channel that keeps failing CRC
+should trade bandwidth for reliability and *widen the interval*.
+
+:func:`transmit_adaptive` closes that loop.  Each escalation level
+runs a bounded stop-and-wait ARQ burst; when the burst exhausts its
+attempts the sender steps ``interval_ms`` up one notch on the shared
+interval grid (both endpoints know the grid and the escalation rule —
+Section 4.1 lets them agree on protocol ahead of time), rebuilds the
+channel at the wider interval and re-syncs to the new interval
+boundary.  Escalation is bounded by :class:`ArqPolicy`, so a dead
+channel fails cleanly instead of widening forever.
+
+Telemetry: ``channel.arq.escalations`` / ``deliveries`` / ``failures``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..telemetry.context import active_registry
+from ..units import ms
+
+__all__ = [
+    "ArqPolicy",
+    "AdaptiveTransfer",
+    "transmit_adaptive",
+    "adaptive_under_stress",
+    "DEFAULT_ESCALATION_GRID_MS",
+]
+
+#: The paper's sweep grid (Figure 10), ascending: each escalation step
+#: widens the bit interval to the next entry.
+DEFAULT_ESCALATION_GRID_MS: tuple[float, ...] = (
+    10.0, 12.0, 15.0, 18.0, 21.0, 24.0, 28.0, 33.0, 38.0, 45.0, 60.0,
+)
+
+
+@dataclass(frozen=True)
+class ArqPolicy:
+    """How hard to try at each interval before widening it."""
+
+    attempts_per_level: int = 2
+    max_escalations: int = 4
+    grid_ms: tuple[float, ...] = DEFAULT_ESCALATION_GRID_MS
+
+    def validate(self) -> None:
+        if self.attempts_per_level < 1:
+            raise ConfigError(
+                "attempts_per_level must be >= 1, "
+                f"got {self.attempts_per_level}"
+            )
+        if self.max_escalations < 0:
+            raise ConfigError(
+                f"max_escalations must be >= 0, got {self.max_escalations}"
+            )
+        if not self.grid_ms or list(self.grid_ms) != sorted(self.grid_ms):
+            raise ConfigError("grid_ms must be a non-empty ascending grid")
+
+    def next_interval_ms(self, current_ms: float) -> float | None:
+        """The next-wider grid interval, or ``None`` at the top."""
+        for value in self.grid_ms:
+            if value > current_ms:
+                return value
+        return None
+
+
+@dataclass(frozen=True)
+class AdaptiveTransfer:
+    """Outcome of an adaptive transfer: what arrived, and at what cost."""
+
+    delivered: bool
+    payload: bytes
+    attempts: int
+    escalations: int
+    #: Every interval the transfer ran at, in order; the last entry is
+    #: the interval the final (successful or abandoned) burst used.
+    interval_path_ms: tuple[float, ...]
+    corrected_bits: int
+
+    @property
+    def final_interval_ms(self) -> float:
+        return self.interval_path_ms[-1]
+
+
+def transmit_adaptive(payload: bytes, *,
+                      system=None,
+                      channel_factory=None,
+                      interval_ms: float = 21.0,
+                      policy: ArqPolicy | None = None,
+                      sender_cores: tuple[int, ...] = (0,),
+                      receiver_core: int = 8,
+                      sender_mode=None) -> AdaptiveTransfer:
+    """Deliver ``payload`` with escalating-interval ARQ.
+
+    Either pass a live ``system`` (a fresh
+    :class:`~repro.core.channel.UFVariationChannel` is deployed per
+    escalation level — construction re-syncs the endpoints to the new
+    interval grid) or a ``channel_factory(interval_ms)`` for custom
+    channels and tests.
+    """
+    from ..core.framing import send_message_reliable
+
+    policy = policy if policy is not None else ArqPolicy()
+    policy.validate()
+    if channel_factory is None:
+        if system is None:
+            raise ConfigError(
+                "transmit_adaptive needs a system or a channel_factory"
+            )
+        from ..core.channel import UFVariationChannel
+        from ..core.protocol import ChannelConfig
+        from ..core.sender import SenderMode
+
+        mode = sender_mode if sender_mode is not None else SenderMode.STALL
+
+        def channel_factory(level_interval_ms: float):
+            return UFVariationChannel(
+                system,
+                config=ChannelConfig(interval_ns=ms(level_interval_ms)),
+                sender_cores=sender_cores,
+                receiver_core=receiver_core,
+                sender_mode=mode,
+            )
+
+    registry = active_registry()
+    current_ms = float(interval_ms)
+    path = [current_ms]
+    attempts = 0
+    escalations = 0
+    while True:
+        channel = channel_factory(current_ms)
+        try:
+            transfer = send_message_reliable(
+                channel, payload, max_attempts=policy.attempts_per_level
+            )
+        finally:
+            shutdown = getattr(channel, "shutdown", None)
+            if shutdown is not None:
+                shutdown()
+        attempts += transfer.attempts
+        if transfer.delivered:
+            if registry is not None:
+                registry.inc("channel.arq.deliveries")
+            return AdaptiveTransfer(
+                delivered=True,
+                payload=transfer.frame.payload,
+                attempts=attempts,
+                escalations=escalations,
+                interval_path_ms=tuple(path),
+                corrected_bits=transfer.frame.corrected_bits,
+            )
+        next_ms = policy.next_interval_ms(current_ms)
+        if escalations >= policy.max_escalations or next_ms is None:
+            if registry is not None:
+                registry.inc("channel.arq.failures")
+            return AdaptiveTransfer(
+                delivered=False,
+                payload=transfer.frame.payload if transfer.frame else b"",
+                attempts=attempts,
+                escalations=escalations,
+                interval_path_ms=tuple(path),
+                corrected_bits=(transfer.frame.corrected_bits
+                                if transfer.frame else 0),
+            )
+        escalations += 1
+        if registry is not None:
+            registry.inc("channel.arq.escalations")
+        current_ms = next_ms
+        path.append(current_ms)
+
+
+def adaptive_under_stress(stress_threads: int, *,
+                          payload: bytes = b"UF",
+                          interval_ms: float = 10.0,
+                          seed: int = 0,
+                          platform=None,
+                          policy: ArqPolicy | None = None,
+                          sender_cores: tuple[int, ...] =
+                          (0, 1, 2, 3, 4, 5)) -> AdaptiveTransfer:
+    """Adaptive ARQ against Table 2's background-stress setup.
+
+    Same deployment as
+    :func:`repro.core.reliability.capacity_under_stress` — the sender
+    stalls six cores, the stressors hammer the rest of the socket —
+    but driven through :func:`transmit_adaptive`, so instead of one
+    fixed-interval capacity number the result shows the closed loop
+    trading bandwidth for delivery: graceful degradation, not a
+    flatline.
+    """
+    from ..platform.system import System
+    from ..workloads.stressor import launch_stressor_threads
+
+    system = System(platform, seed=seed)
+    if stress_threads:
+        launch_stressor_threads(
+            system,
+            stress_threads,
+            socket_id=0,
+            avoid_cores=set(sender_cores) | {8},
+        )
+        # Let the stressor phase schedules decorrelate from the start.
+        system.run_ms(50)
+    try:
+        return transmit_adaptive(
+            payload,
+            system=system,
+            interval_ms=interval_ms,
+            policy=policy,
+            sender_cores=sender_cores,
+            receiver_core=8,
+        )
+    finally:
+        system.stop()

@@ -1,0 +1,118 @@
+"""A deterministic circuit breaker for degradable subsystems.
+
+Classic closed/open/half-open state machine with one twist: the
+"cooldown" is measured in **denied calls**, not wall-clock seconds.
+Everything else in this codebase is a pure function of its inputs;
+a time-based breaker would make cache behaviour depend on how fast
+the host happens to be.  Counting calls keeps the whole fault story
+replayable — the same sequence of operations always walks the same
+state path.
+
+States:
+
+* ``closed`` — normal operation; consecutive failures are counted and
+  ``failure_threshold`` of them in a row trips the breaker open.
+* ``open`` — every call is refused (the caller degrades to its
+  fallback, e.g. the trace store simulates instead of caching).  After
+  ``cooldown`` refusals the breaker half-opens.
+* ``half_open`` — exactly one probe call is let through.  Success
+  closes the breaker; failure re-opens it and the cooldown restarts.
+
+Transitions emit ``<name>.breaker_open`` / ``breaker_half_open`` /
+``breaker_closed`` counters when a telemetry registry is active.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..telemetry.context import active_registry
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Trip after ``failure_threshold`` consecutive failures; probe
+    again after ``cooldown`` denied calls.
+    """
+
+    def __init__(self, *, failure_threshold: int = 3, cooldown: int = 8,
+                 name: str | None = None) -> None:
+        if failure_threshold < 1:
+            raise ConfigError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown < 1:
+            raise ConfigError(f"cooldown must be >= 1, got {cooldown}")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.name = name
+        self.state = CLOSED
+        self._consecutive_failures = 0
+        self._denied_while_open = 0
+        self._probe_outstanding = False
+
+    def _emit(self, event: str) -> None:
+        if self.name is None:
+            return
+        registry = active_registry()
+        if registry is not None:
+            registry.inc(f"{self.name}.breaker_{event}")
+
+    def _trip_open(self) -> None:
+        self.state = OPEN
+        self._denied_while_open = 0
+        self._probe_outstanding = False
+        self._emit("open")
+
+    def allow(self) -> bool:
+        """Whether the protected operation may run right now.
+
+        While open, the ``cooldown``-th refused call is converted into
+        the half-open probe and allowed through; while half-open, only
+        that single outstanding probe runs.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            self._denied_while_open += 1
+            if self._denied_while_open >= self.cooldown:
+                self.state = HALF_OPEN
+                self._probe_outstanding = True
+                self._emit("half_open")
+                return True
+            return False
+        # HALF_OPEN: one probe at a time.
+        if self._probe_outstanding:
+            return False
+        self._probe_outstanding = True
+        return True
+
+    def allow_write(self) -> bool:
+        """Side-effecting writes are refused only while fully open.
+
+        A half-open breaker lets writes through: the probe read needs
+        fresh data to land on, and a wasted write is cheaper than a
+        probe that can never succeed.
+        """
+        return self.state != OPEN
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._probe_outstanding = False
+        if self.state != CLOSED:
+            self.state = CLOSED
+            self._emit("closed")
+
+    def record_failure(self) -> None:
+        self._probe_outstanding = False
+        if self.state == HALF_OPEN:
+            self._trip_open()
+            return
+        self._consecutive_failures += 1
+        if (self.state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold):
+            self._trip_open()

@@ -1,0 +1,166 @@
+"""Atomic checkpoint files for resumable long-running experiments.
+
+A :class:`Checkpoint` records each completed trial's result under its
+trial *label* as it lands, flushing to disk with the same temp-file +
+``os.replace`` discipline the trace store uses — an interrupted flush
+can never tear the file, only strand a temp that the next flush
+replaces.
+
+The file is keyed by :func:`checkpoint_key`, which is literally
+:meth:`repro.trace.store.TraceStore.key` — a digest of (effective
+platform config, experiment name, canonical params, seed).  A resumed
+run therefore only reuses results when it would have produced the exact
+same ones, and a checkpoint written under a different shape (other
+intervals, other bits, other platform) is ignored rather than merged.
+
+Results are pickled and wrapped with a sha256 digest per record, so
+resumed values round-trip bit-identically (pickle preserves float64
+payloads exactly) and a damaged record is skipped — worst case the
+trial is re-run, never resumed wrong.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any
+
+from ..errors import ConfigError
+from ..telemetry.context import active_registry
+
+__all__ = ["Checkpoint", "checkpoint_key", "CHECKPOINT_VERSION"]
+
+CHECKPOINT_VERSION = 1
+
+
+def _count(name: str, amount: int | float = 1) -> None:
+    registry = active_registry()
+    if registry is not None:
+        registry.inc(f"runner.checkpoint.{name}", amount)
+
+
+def checkpoint_key(experiment: str, *, platform=None,
+                   params: dict | None = None,
+                   seed: int | None = None) -> str:
+    """The trace store's content-address recipe, reused verbatim."""
+    # Imported lazily: the trace store imports the resilience package
+    # (for its circuit breaker), so a module-level import here would
+    # be a cycle.
+    from ..trace.store import TraceStore
+
+    return TraceStore.key(experiment, platform=platform, params=params,
+                          seed=seed)
+
+
+class Checkpoint:
+    """Label-addressed completed-trial results, atomically persisted.
+
+    ``every`` controls flush cadence: 1 (the default) flushes after
+    every recorded result — an interrupt loses nothing; larger values
+    amortise the write for sweeps with many cheap trials.
+    """
+
+    def __init__(self, path, *, key: str = "", every: int = 1) -> None:
+        if every < 1:
+            raise ConfigError(f"every must be >= 1, got {every}")
+        self.path = Path(path)
+        self.key = key
+        self.every = every
+        self._completed: dict[str, Any] = {}
+        self._dirty = 0
+
+    @classmethod
+    def for_experiment(cls, directory, experiment: str, *, platform=None,
+                       params: dict | None = None, seed: int | None = None,
+                       every: int = 1) -> "Checkpoint":
+        """The canonical path: ``<dir>/<experiment>-<key>.ckpt.json``."""
+        key = checkpoint_key(experiment, platform=platform, params=params,
+                             seed=seed)
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        return cls(directory / f"{experiment}-{key}.ckpt.json", key=key,
+                   every=every)
+
+    # -- persistence --------------------------------------------------
+
+    def load(self) -> dict[str, Any]:
+        """Read the file, salvage every intact record, return them.
+
+        Tolerates a missing file (fresh start), a torn file (fresh
+        start, counted as ``runner.checkpoint.invalid``) and individual
+        damaged records (skipped, counted) — resuming from a damaged
+        checkpoint can cost re-runs but never correctness.
+        """
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return dict(self._completed)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            _count("invalid")
+            return dict(self._completed)
+        if (not isinstance(payload, dict)
+                or payload.get("version") != CHECKPOINT_VERSION
+                or payload.get("key") != self.key):
+            _count("invalid")
+            return dict(self._completed)
+        for label, record in payload.get("completed", {}).items():
+            if not isinstance(record, dict):
+                _count("corrupt_records")
+                continue
+            try:
+                blob = bytes.fromhex(record.get("data", ""))
+            except ValueError:
+                _count("corrupt_records")
+                continue
+            if hashlib.sha256(blob).hexdigest() != record.get("sha256"):
+                _count("corrupt_records")
+                continue
+            try:
+                self._completed[label] = pickle.loads(blob)
+            except Exception:  # noqa: BLE001 - any damage means re-run
+                _count("corrupt_records")
+                continue
+        return dict(self._completed)
+
+    def record(self, label: str, result: Any) -> None:
+        """Store one completed result; flush if the cadence says so."""
+        self._completed[str(label)] = result
+        self._dirty += 1
+        _count("records")
+        if self._dirty >= self.every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Publish the current state atomically (temp + ``os.replace``)."""
+        if not self._dirty:
+            return
+        completed = {}
+        for label in sorted(self._completed):
+            blob = pickle.dumps(self._completed[label], protocol=4)
+            completed[label] = {
+                "sha256": hashlib.sha256(blob).hexdigest(),
+                "data": blob.hex(),
+            }
+        payload = json.dumps(
+            {"version": CHECKPOINT_VERSION, "key": self.key,
+             "completed": completed},
+            sort_keys=True,
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        temp = self.path.with_suffix(self.path.suffix + ".tmp")
+        temp.write_text(payload, encoding="utf-8")
+        os.replace(temp, self.path)
+        self._dirty = 0
+        _count("flushes")
+
+    def discard(self) -> None:
+        """Delete the file and forget everything (a completed run)."""
+        self.path.unlink(missing_ok=True)
+        self._completed.clear()
+        self._dirty = 0
+
+    def __len__(self) -> int:
+        return len(self._completed)

@@ -15,7 +15,13 @@ import numpy as np
 
 from ..analysis.stats import top_k_accuracy
 from ..core.context import ExperimentContext
-from ..engine.parallel import Trial, resolve_workers, run_trials
+from ..engine.parallel import (
+    Trial,
+    TrialFailure,
+    resolve_workers,
+    run_trials,
+)
+from ..errors import ConfigError, ResilienceError
 from ..platform.system import System
 from ..rng import derive_seed
 from ..workloads.browser import BrowserVictim, WebsiteLibrary
@@ -172,6 +178,8 @@ def collect_dataset(
     context: ExperimentContext | None = None,
     per_site_systems: bool | None = None,
     cache_dir=None,
+    checkpoint_dir=None,
+    retry=None,
 ) -> FingerprintDataset:
     """Run the attacker against victim visits to every site.
 
@@ -199,13 +207,28 @@ def collect_dataset(
     site shard is its own line, written by whichever worker process ran
     the shard (so ``workers > 1`` warms and reuses the same entries a
     serial run does).
+
+    ``checkpoint_dir`` makes collection resumable (and implies sharded
+    mode — only independent site shards can be skipped individually):
+    every completed site's traces are recorded to an atomic checkpoint
+    keyed by (platform, params, seed), so an interrupted campaign
+    resumes where it stopped and yields a bit-identical dataset.
+    ``retry`` re-runs transient per-site crashes; a site still failed
+    after its attempts raises
+    :class:`~repro.errors.ResilienceError`.
     """
     ctx = ExperimentContext.coalesce(
         context, platform=platform, seed=seed, workers=workers
     )
     platform, seed, workers = ctx.platform, ctx.seed, ctx.workers
     if per_site_systems is None:
-        per_site_systems = resolve_workers(workers) > 1
+        per_site_systems = (resolve_workers(workers) > 1
+                            or checkpoint_dir is not None)
+    if checkpoint_dir is not None and not per_site_systems:
+        raise ConfigError(
+            "checkpointed collection requires per_site_systems=True: "
+            "only independent site shards can be resumed individually"
+        )
     if per_site_systems:
         trials = [
             Trial(_collect_site_traces, dict(
@@ -218,12 +241,41 @@ def collect_dataset(
                 victim_core=victim_core,
                 platform=platform,
                 cache_dir=(None if cache_dir is None else str(cache_dir)),
-            ))
+            ), label=f"site-{site}")
             for site in range(num_sites)
         ]
+        checkpoint = None
+        if checkpoint_dir is not None:
+            from ..config import default_platform_config
+            from ..resilience.checkpoint import Checkpoint
+
+            effective = (platform if platform is not None
+                         else default_platform_config())
+            checkpoint = Checkpoint.for_experiment(
+                checkpoint_dir, "collect_dataset",
+                platform=effective,
+                params=fingerprint_cache_params(
+                    num_sites=num_sites, train_visits=train_visits,
+                    test_visits=test_visits, trace_ms=trace_ms,
+                    victim_core=victim_core, sharded=True,
+                ),
+                seed=seed,
+            )
+        shards = run_trials(
+            trials, workers=workers,
+            on_error="retry" if retry is not None else "raise",
+            retry=retry, checkpoint=checkpoint,
+        )
+        failed = [s for s in shards if isinstance(s, TrialFailure)]
+        if failed:
+            raise ResilienceError(
+                f"collection lost {len(failed)} of {len(shards)} site "
+                "shards after retries: "
+                + ", ".join(f.label or str(f.index) for f in failed)
+            )
         train: list[TraceRecord] = []
         test: list[TraceRecord] = []
-        for site_train, site_test in run_trials(trials, workers=workers):
+        for site_train, site_test in shards:
             train.extend(site_train)
             test.extend(site_test)
         return FingerprintDataset(

@@ -26,6 +26,22 @@ to ``quarantine/`` (never deleted) and its entry dropped before the
 typed error propagates, so one damaged file cannot wedge the store; an
 index entry whose blob vanished raises
 :class:`~repro.errors.TraceStoreError` and is cleaned up the same way.
+A *torn index entry* over a healthy blob is the one fault the store
+heals in place: the blob carries its own header, meta and per-frame
+CRCs, so the entry is rebuilt from the surviving bytes
+(``trace.store.index_rebuilt``) instead of quarantined —
+:meth:`TraceStore.rebuild_index` runs the same repair store-wide.
+
+Sustained corruption trips a
+:class:`~repro.resilience.breaker.CircuitBreaker`: after
+``breaker_threshold`` consecutive corrupt fetches the store degrades
+to pass-through — fetches short-circuit to misses (the caller
+simulates; ``trace.store.breaker_short_circuits``) and puts are
+dropped (``trace.store.breaker_dropped_writes``) — then half-opens
+after ``breaker_cooldown`` refused fetches and closes again on the
+first healthy probe.  State changes emit
+``trace.store.breaker_open`` / ``breaker_half_open`` /
+``breaker_closed``.
 
 When a :mod:`repro.telemetry` registry is active the store counts
 ``trace.store.hits`` / ``misses`` / ``writes`` / ``bytes_written`` /
@@ -42,6 +58,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..errors import TraceError, TraceStoreError
+from ..resilience.breaker import CircuitBreaker
 from ..sidechannel.tracer import TraceRecord
 from ..telemetry.context import active_registry
 from ..telemetry.manifest import config_digest
@@ -89,9 +106,17 @@ class VerifyReport:
 class TraceStore:
     """A size-capped, content-addressed cache of trace corpora."""
 
-    def __init__(self, root, *, max_bytes: int | None = None) -> None:
+    def __init__(self, root, *, max_bytes: int | None = None,
+                 breaker: CircuitBreaker | None = None,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown: int = 8) -> None:
         self.root = Path(root)
         self.max_bytes = max_bytes
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            failure_threshold=breaker_threshold,
+            cooldown=breaker_cooldown,
+            name="trace.store",
+        )
         self._blobs = self.root / "blobs"
         self._index = self.root / "index"
         self._quarantine = self.root / "quarantine"
@@ -209,8 +234,16 @@ class TraceStore:
         never observe a half-written blob — concurrent writers of the
         same key are writing identical content by construction, and the
         last rename wins harmlessly.
+
+        While the corruption breaker is open the write is *dropped*
+        (pass-through mode: the caller keeps its simulated data, the
+        sick store is left alone) and the would-be blob path returned
+        unwritten; ``trace.store.breaker_dropped_writes`` counts them.
         """
         blob = self.blob_path(key)
+        if not self.breaker.allow_write():
+            _count("breaker_dropped_writes")
+            return blob
         temp = blob.with_suffix(".uftc.tmp")
         try:
             with TraceWriter(temp, meta=meta) as writer:
@@ -253,9 +286,9 @@ class TraceStore:
             entry = self._read_entry(key)
         except TraceStoreError:
             # The index entry is damaged but the blob carries its own
-            # CRC: quarantine the untrustworthy entry and keep serving.
-            self._quarantine_entry(key)
-            entry = None
+            # header and CRCs: rebuild the entry from the surviving
+            # bytes and keep serving.
+            entry = self._heal_entry(key)
         if not blob.exists():
             if entry is not None:
                 self._entry_path(key).unlink(missing_ok=True)
@@ -290,17 +323,83 @@ class TraceStore:
         moved aside (with its typed error swallowed) and reported as a
         miss, so the caller transparently falls back to simulation and
         overwrites the entry with a fresh corpus.
+
+        Every fetch feeds the corruption breaker: corrupt loads are
+        failures, healthy hits and plain misses are successes.  While
+        the breaker is open the lookup short-circuits to a miss without
+        touching disk (``trace.store.breaker_short_circuits``) — under
+        sustained bit rot the store stops thrashing
+        quarantine/re-simulate cycles and degrades to pure simulation
+        until a cooled-down probe finds the store healthy again.
         """
+        if not self.breaker.allow():
+            _count("breaker_short_circuits")
+            _count("misses")
+            return None
         if not self.contains(key):
             _count("misses")
+            self.breaker.record_success()
             return None
         try:
-            return self.load(key)
+            loaded = self.load(key)
         except TraceError:
             _count("misses")
+            self.breaker.record_failure()
             return None
+        self.breaker.record_success()
+        return loaded
 
     # -- maintenance --------------------------------------------------
+
+    def _heal_entry(self, key: str) -> StoreEntry | None:
+        """Rebuild a torn index entry from its surviving blob.
+
+        The blob is self-describing — header meta, per-frame CRCs — so
+        everything the entry records can be recovered by one full read.
+        If the blob is damaged too there is nothing to rebuild from:
+        the entry moves to quarantine (evidence, never deletion) and
+        the read path's blob-quarantine machinery handles the rest.
+        """
+        blob = self.blob_path(key)
+        if not blob.exists():
+            self._quarantine_entry(key)
+            return None
+        try:
+            reader = TraceReader(blob)
+            records = sum(1 for _ in reader)
+        except TraceError:
+            self._quarantine_entry(key)
+            return None
+        meta = dict(reader.meta)
+        entry = StoreEntry(
+            key=key,
+            experiment=str(meta.get("experiment", "")),
+            records=records,
+            size_bytes=blob.stat().st_size,
+            tick=self._next_tick(),
+            meta=meta,
+        )
+        self._write_entry(entry)
+        _count("index_rebuilt")
+        return entry
+
+    def rebuild_index(self) -> list[str]:
+        """Repair the whole index from surviving blobs; return the keys.
+
+        Every blob whose entry is missing or torn gets a rebuilt entry;
+        blobs that are themselves damaged are left for the read path to
+        quarantine.  Healthy entries are untouched.
+        """
+        rebuilt: list[str] = []
+        for blob in sorted(self._blobs.glob("*.uftc")):
+            key = blob.stem
+            try:
+                entry = self._read_entry(key)
+            except TraceStoreError:
+                entry = None
+            if entry is None and self._heal_entry(key) is not None:
+                rebuilt.append(key)
+        return rebuilt
 
     def _quarantine_entry(self, key: str) -> None:
         """Move an index-entry file aside (evidence, never deletion)."""

@@ -27,12 +27,14 @@ from .scenarios import FuzzScenario
 __all__ = [
     "FAULTS",
     "crashing_trial",
+    "flaky_trial",
     "flip_bit",
     "flip_crc_bit",
     "inject_fault",
     "leave_half_written_temp",
     "truncate_file",
     "truncate_index_entry",
+    "worker_killing_trial",
 ]
 
 
@@ -101,6 +103,39 @@ def crashing_trial(message: str = "injected crash") -> None:
     crash instead of poisoning its siblings.
     """
     raise RuntimeError(message)
+
+
+def flaky_trial(sentinel, value=None,
+                message: str = "injected transient crash"):
+    """Crash until the sentinel file exists, then succeed forever.
+
+    Models a transient environmental fault: the first attempt plants
+    the sentinel and dies; every retry finds it and returns ``value``.
+    The sentinel lives on disk (not in process state) so the fault
+    behaves identically inline and across pool workers.
+    """
+    sentinel = Path(sentinel)
+    if not sentinel.exists():
+        sentinel.parent.mkdir(parents=True, exist_ok=True)
+        sentinel.write_text("tripped", encoding="utf-8")
+        raise OSError(message)
+    return value
+
+
+def worker_killing_trial(sentinel, value="survived"):
+    """Kill the hosting worker process once, then succeed forever.
+
+    ``os._exit`` skips all exception handling, so the in-worker retry
+    shim never sees it — the pool itself breaks (``BrokenProcessPool``)
+    and the *driver* must rebuild and resubmit.  Only meaningful with
+    ``workers > 1``; calling it inline would kill the test process.
+    """
+    sentinel = Path(sentinel)
+    if not sentinel.exists():
+        sentinel.parent.mkdir(parents=True, exist_ok=True)
+        sentinel.write_text("tripped", encoding="utf-8")
+        os._exit(17)
+    return value
 
 
 # -- artifact faults ------------------------------------------------------

@@ -282,8 +282,17 @@ def execute_scenario(scenario: FuzzScenario,
 
 
 def _run_one(scenario: FuzzScenario,
-             fault: str | None = None) -> ScenarioOutcome:
-    """Execute + judge one scenario (module-level: pool-picklable)."""
+             fault: str | None = None,
+             seed: int | None = None) -> ScenarioOutcome:
+    """Execute + judge one scenario (module-level: pool-picklable).
+
+    ``seed`` is the scenario's run seed, accepted (and otherwise
+    unused) so it rides in the trial kwargs — a crashed trial's
+    :class:`~repro.engine.parallel.TrialFailure` then carries the seed
+    alongside the label, enough to write a replayable repro without
+    re-running anything.
+    """
+    del seed
     obs = execute_scenario(scenario, fault)
     return ScenarioOutcome(
         scenario=scenario,
@@ -295,26 +304,49 @@ def run_validation(*, seed: int = 0, count: int = 100,
                    workers: int | None = 1,
                    fault: str | None = None,
                    repro_dir=None,
-                   shrink_failures: bool = True) -> ValidationReport:
+                   shrink_failures: bool = True,
+                   checkpoint_dir=None) -> ValidationReport:
     """Fuzz ``count`` scenarios from ``seed`` and judge every one.
 
     A crashing scenario is contained (``on_error="collect"``) and
     reported as a failed outcome.  When anything fails and
     ``repro_dir`` is given, the first failure is shrunk to a minimal
-    scenario and written there as a self-contained repro file.
+    scenario and written there as a self-contained repro file; a
+    *crashed* scenario's repro is written directly from the collected
+    failure — error string included — with no shrink re-runs.
+
+    ``checkpoint_dir`` makes long fuzz runs resumable: every judged
+    scenario is recorded to an atomic checkpoint keyed by the run's
+    (count, fault, seed), and a re-run with the same arguments skips
+    the scenarios already judged.
     """
     scenarios = generate_scenarios(seed, count)
     trials = [
-        Trial(_run_one, dict(scenario=scenario, fault=fault))
+        Trial(_run_one, dict(scenario=scenario, fault=fault,
+                             seed=scenario.run_seed),
+              label=f"scenario-{scenario.index}")
         for scenario in scenarios
     ]
+    checkpoint = None
+    if checkpoint_dir is not None:
+        from ..resilience.checkpoint import Checkpoint
+
+        # Scenario platforms are themselves pure functions of
+        # (seed, count), so the run-level key needs no platform digest.
+        checkpoint = Checkpoint.for_experiment(
+            checkpoint_dir, "run_validation",
+            platform=None,
+            params=dict(count=count, fault=fault),
+            seed=seed,
+        )
     # Mask any ambient registry for the whole fuzz+shrink phase:
     # scenarios deliberately span heterogeneous platforms, whose
     # per-platform histogram layouts (e.g. ``ufs.freq_mhz`` bucket
     # edges) cannot merge into one caller registry.  The telemetry-
     # transparency oracle builds its own private registries regardless.
     with using(None):
-        raw = run_trials(trials, workers=workers, on_error="collect")
+        raw = run_trials(trials, workers=workers, on_error="collect",
+                         checkpoint=checkpoint)
         outcomes: list[ScenarioOutcome] = []
         for scenario, result in zip(scenarios, raw):
             if isinstance(result, TrialFailure):
@@ -355,7 +387,14 @@ def _write_first_repro(outcome: ScenarioOutcome, fault: str | None,
     from .shrink import shrink
 
     scenario = outcome.scenario
-    if shrink_failures:
+    error = outcome.error
+    if error is not None:
+        # A collected crash is written out as-is: the outcome already
+        # carries everything a replay needs (scenario, fault, error),
+        # and shrink re-runs would chase a crash that may only occur
+        # under the conditions that just produced it.
+        violations = outcome.violations
+    elif shrink_failures:
         scenario = shrink(
             scenario, lambda s: _scenario_fails(s, fault)
         )
@@ -367,12 +406,12 @@ def _write_first_repro(outcome: ScenarioOutcome, fault: str | None,
     path = repro_dir / (
         f"repro-seed{scenario.seed}-scenario{scenario.index}.json"
     )
-    write_repro(path, scenario, fault, violations)
+    write_repro(path, scenario, fault, violations, error=error)
     return path
 
 
 def write_repro(path, scenario: FuzzScenario, fault: str | None,
-                violations) -> None:
+                violations, *, error: str | None = None) -> None:
     """Write a self-contained, replayable failure description."""
     payload = {
         "version": REPRO_VERSION,
@@ -384,6 +423,8 @@ def write_repro(path, scenario: FuzzScenario, fault: str | None,
             for v in violations
         ],
     }
+    if error is not None:
+        payload["error"] = error
     Path(path).write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",

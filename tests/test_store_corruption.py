@@ -64,15 +64,30 @@ class TestTruncatedIndexEntry:
         assert torn in report.bad_entries
         assert not report.clean
 
-    def test_open_quarantines_entry_but_serves_the_blob(self, store):
+    def test_open_heals_the_entry_and_serves_the_blob(self, store):
         torn = _put(store, "torn")
         truncate_index_entry(store, torn)
         # The blob carries its own CRC: still perfectly readable.
         records = store.open(torn).read_all()
         assert len(records) == 3
-        # The untrustworthy entry moved aside, not deleted.
-        assert not store._entry_path(torn).exists()
-        assert (store.root / "quarantine" / f"{torn}.json").exists()
+        # The entry was rebuilt in place from the surviving blob...
+        healed = store._read_entry(torn)
+        assert healed is not None
+        assert healed.records == 3
+        assert healed.size_bytes == store.blob_path(torn).stat().st_size
+        # ...so nothing needed quarantining.
+        assert not (store.root / "quarantine" / f"{torn}.json").exists()
+
+    def test_rebuild_index_repairs_store_wide(self, store):
+        torn = _put(store, "torn")
+        also_torn = _put(store, "also-torn", seed=1)
+        healthy = _put(store, "healthy", seed=2)
+        truncate_index_entry(store, torn)
+        truncate_index_entry(store, also_torn)
+        assert sorted(store.rebuild_index()) == sorted([torn, also_torn])
+        keys = {entry.key for entry in store.entries()}
+        assert keys == {torn, also_torn, healthy}
+        assert store.verify().clean
 
     def test_put_gc_still_work_around_the_tear(self, store):
         torn = _put(store, "torn")
