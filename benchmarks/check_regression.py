@@ -19,13 +19,23 @@ Two paired measurements, each with a budget; exit 1 when either fails:
   nothing fails, the retry and checkpoint machinery must cost within
   the tolerance (default 5 %) of the plain run and return identical
   results.  ``--skip-resilience`` omits the gate.
+* **Fastpath speedup** — the gate sweep of
+  ``benchmarks/bench_fastpath.py`` through the DES backend versus the
+  vectorized batch backend.  Batch must be at least
+  ``--fastpath-speedup`` (default 10) times faster *and* bit-identical
+  (anything else is a correctness failure, not a perf one); the
+  analytical backend must land within its own documented tolerance of
+  the DES error rates; both must leave their telemetry fingerprints
+  (``fastpath.batch.trials`` / ``fastpath.analytical.evals``).
+  ``--skip-fastpath`` omits the gate.
 
 Usage::
 
     python benchmarks/check_regression.py [--tolerance 0.05]
         [--against-baseline] [--baseline BENCH_baseline.json]
         [--trace-speedup 10] [--skip-trace-cache]
-        [--skip-resilience]
+        [--skip-resilience] [--fastpath-speedup 10]
+        [--skip-fastpath]
 """
 
 from __future__ import annotations
@@ -141,6 +151,77 @@ def measure_resilience_overhead() -> tuple[float, float]:
     return min(plain_times), min(resilient_times)
 
 
+def measure_fastpath() -> tuple[float, float, float, float]:
+    """Wall-time the gate sweep: DES versus the batch backend.
+
+    Returns ``(des_s, batch_s, worst_delta, worst_tolerance)`` where
+    the last two describe the analytical backend's worst interval:
+    the absolute DES-vs-analytical error-rate gap and the tolerance it
+    must stay inside.  Dies outright (not a budget failure) when the
+    batch results are not bit-identical to DES or a backend fails to
+    leave its telemetry counter — those are correctness regressions,
+    not slowness.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from bench_fastpath import GATE_SHAPE  # noqa: E402
+
+    from repro.core.evaluation import capacity_sweep  # noqa: E402
+    from repro.fastpath.analytical import (  # noqa: E402
+        analytical_estimates,
+    )
+    from repro.fastpath.backend import CapacityRequest  # noqa: E402
+    from repro.fastpath.batch import _capacity_plan  # noqa: E402
+    from repro.telemetry import MetricsRegistry, using  # noqa: E402
+
+    start = time.perf_counter()
+    des = capacity_sweep(**GATE_SHAPE, backend="des")
+    des_s = time.perf_counter() - start
+
+    intervals = GATE_SHAPE["intervals_ms"]
+    batch_times = []
+    registry = MetricsRegistry()
+    for _ in range(3):
+        start = time.perf_counter()
+        with using(registry):
+            batch = capacity_sweep(**GATE_SHAPE, backend="batch")
+        batch_times.append(time.perf_counter() - start)
+        if batch.points != des.points:
+            raise SystemExit(
+                "batch backend diverged from DES on the gate sweep — "
+                "the bit-identity contract is broken, not just slow"
+            )
+    counters = registry.snapshot()["counters"]
+    if counters.get("fastpath.batch.trials") != 3 * len(intervals):
+        raise SystemExit(
+            "fastpath.batch.trials counter missing or wrong — the "
+            "batch backend is no longer telemetry-transparent"
+        )
+
+    registry = MetricsRegistry()
+    with using(registry):
+        estimates = analytical_estimates([
+            _capacity_plan(CapacityRequest(
+                interval_ms=interval_ms, bits=GATE_SHAPE["bits"],
+                seed=GATE_SHAPE["seed"],
+            ))
+            for interval_ms in intervals
+        ])
+    counters = registry.snapshot()["counters"]
+    if counters.get("fastpath.analytical.evals") != len(intervals):
+        raise SystemExit(
+            "fastpath.analytical.evals counter missing or wrong — the "
+            "analytical backend is no longer telemetry-transparent"
+        )
+    worst_delta, worst_tolerance = 0.0, float("inf")
+    for point, estimate in zip(des.points, estimates):
+        delta = abs(point.error_rate - estimate.error_rate)
+        if delta - estimate.error_tolerance > \
+                worst_delta - worst_tolerance:
+            worst_delta = delta
+            worst_tolerance = estimate.error_tolerance
+    return des_s, min(batch_times), worst_delta, worst_tolerance
+
+
 def baseline_median(path: Path) -> float:
     data = json.loads(path.read_text())
     for bench in data["benchmarks"]:
@@ -167,6 +248,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--skip-resilience", action="store_true",
                         help="skip the no-fault resilience overhead "
                              "gate")
+    parser.add_argument("--fastpath-speedup", type=float, default=10.0,
+                        help="minimum batch-over-DES sweep speedup "
+                             "(default 10)")
+    parser.add_argument("--skip-fastpath", action="store_true",
+                        help="skip the vectorized backend speedup and "
+                             "equivalence gate")
     args = parser.parse_args(argv)
 
     medians = run_benchmarks()
@@ -213,6 +300,23 @@ def main(argv: list[str] | None = None) -> int:
               f"(tolerance {100 * args.tolerance:.0f} %)")
         if resilience > args.tolerance:
             print("FAIL: no-fault retry/checkpoint overhead exceeds "
+                  "tolerance")
+            failed = True
+
+    if not args.skip_fastpath:
+        des_s, batch_s, delta, tolerance = measure_fastpath()
+        speedup = des_s / batch_s if batch_s > 0 else float("inf")
+        print(f"sweep des:         {des_s * 1e3:8.1f} ms")
+        print(f"sweep batch:       {batch_s * 1e3:8.1f} ms")
+        print(f"speedup:           {speedup:8.1f}x "
+              f"(budget >= {args.fastpath_speedup:.0f}x)")
+        print(f"analytical gap:    {delta:8.4f} "
+              f"(tolerance {tolerance:.4f})")
+        if speedup < args.fastpath_speedup:
+            print("FAIL: batch backend is under the speedup budget")
+            failed = True
+        if delta > tolerance:
+            print("FAIL: analytical backend is outside its error "
                   "tolerance")
             failed = True
 

@@ -179,6 +179,7 @@ def comparison_matrix(*, bits: int = 24, seed: int = 0,
                       scenarios: tuple[Scenario, ...] = SCENARIOS,
                       workers: int | None = 1,
                       context: "ExperimentContext | None" = None,
+                      backend: str | None = None,
                       ) -> list[ComparisonCell]:
     """The full Table 3: every channel in every scenario.
 
@@ -188,18 +189,31 @@ def comparison_matrix(*, bits: int = 24, seed: int = 0,
     (channel, scenario) order, bit-identical to the serial run.
 
     Scenarios define their own platforms (that is what Table 3
-    compares), so a ``context.platform`` override is rejected.
+    compares), so a ``context.platform`` override is rejected.  The
+    matrix mixes ten non-UFS channels with security scenarios the
+    vectorized fastpath does not model, so only the DES backend can run
+    it: ``backend="auto"`` resolves to ``"des"`` and an explicit
+    ``"batch"``/``"analytical"`` request is rejected rather than
+    silently answered by the wrong simulator.
     """
     from ..core.context import ExperimentContext
     from ..errors import ConfigError
+    from ..fastpath.backend import resolve_backend
 
     ctx = ExperimentContext.coalesce(
-        context, seed=seed, workers=workers
+        context, seed=seed, workers=workers, backend=backend
     )
     if ctx.platform is not None:
         raise ConfigError(
             "comparison_matrix scenarios define their own platforms; "
             "a context platform override is not meaningful"
+        )
+    resolved = resolve_backend(ctx.backend, experiment="comparison_matrix")
+    if resolved != "des":
+        raise ConfigError(
+            f"comparison_matrix supports only the DES backend, got "
+            f"{resolved!r}: the vectorized backends model only the "
+            "UF-variation experiments — use backend='des' or 'auto'"
         )
     trials = [
         Trial(evaluate_channel, dict(channel_cls=channel_cls,

@@ -5,8 +5,10 @@
     python -m repro transmit --message "UFS!" --interval-ms 28
     python -m repro characterize
     python -m repro capacity --cross-processor --bits 150
+    python -m repro capacity --backend batch
     python -m repro stress --threads 4
-    python -m repro defenses
+    python -m repro defenses --backend auto
+    python -m repro compare --bits 24
     python -m repro fingerprint --sites 16 --cache-dir traces/
     python -m repro filesize
     python -m repro trace record fingerprint --cache-dir traces/
@@ -21,8 +23,14 @@ Every subcommand accepts ``--seed`` for reproducibility and prints the
 same row format the benchmark harness uses.  ``--workers N`` (or
 ``REPRO_WORKERS``) fans independent trials out across processes where a
 command supports it (``capacity``, ``stress``, ``defenses``,
-``fingerprint``); worker count never changes the results, only the wall
-time.
+``compare``, ``fingerprint``); worker count never changes the results,
+only the wall time.
+
+Backends: ``capacity``, ``defenses``, ``compare`` and ``validate`` take
+``--backend {des,batch,analytical,auto}`` (default ``$REPRO_BACKEND``,
+then ``des``) to pick the simulator — ``batch`` is the bit-identical
+vectorized fast path, ``analytical`` the closed-form estimator.  The
+resolved backend is recorded in the run manifest.
 
 Trace caching: ``fingerprint`` and ``filesize`` accept ``--cache-dir``
 (or ``$REPRO_TRACE_CACHE``) to reuse recorded trace corpora — a cache
@@ -172,7 +180,9 @@ def _resolve_retry(args: argparse.Namespace):
 
 def _cmd_capacity(args: argparse.Namespace) -> dict:
     from .core.evaluation import DEFAULT_INTERVALS_MS, capacity_sweep
+    from .fastpath.backend import resolve_backend
 
+    backend = resolve_backend(args.backend, experiment="capacity_sweep")
     intervals = (
         tuple(args.intervals) if args.intervals else DEFAULT_INTERVALS_MS
     )
@@ -184,6 +194,7 @@ def _cmd_capacity(args: argparse.Namespace) -> dict:
         workers=args.workers,
         checkpoint_dir=args.resume,
         retry=_resolve_retry(args),
+        backend=backend,
     )
     if not args.json:
         rows = [
@@ -203,6 +214,7 @@ def _cmd_capacity(args: argparse.Namespace) -> dict:
         ))
     return {
         "experiment": "capacity",
+        "backend": backend,
         "results": {
             "points": sweep.points,
             "summary": sweep.summarize(),
@@ -235,10 +247,13 @@ def _cmd_stress(args: argparse.Namespace) -> dict:
 
 def _cmd_defenses(args: argparse.Namespace) -> dict:
     from .defenses import analytics_energy_overhead, evaluate_defenses
+    from .fastpath.backend import resolve_backend
 
+    backend = resolve_backend(args.backend, experiment="evaluate_defenses")
     reports = evaluate_defenses(
         bits=args.bits, seed=args.seed, workers=args.workers,
         checkpoint_dir=args.resume, retry=_resolve_retry(args),
+        backend=backend,
     )
     if not args.json:
         rows = [
@@ -261,7 +276,54 @@ def _cmd_defenses(args: argparse.Namespace) -> dict:
         if not args.json:
             print(f"\nfixed-at-max energy overhead on analytics: "
                   f"{energy.overhead_percent:.1f} % (paper: ~7 %)")
-    return {"experiment": "defenses", "results": results}
+    return {"experiment": "defenses", "backend": backend,
+            "results": results}
+
+
+def _cmd_compare(args: argparse.Namespace) -> dict:
+    from .channels.comparison import PAPER_TABLE3, comparison_matrix
+    from .channels.scenarios import SCENARIOS
+    from .fastpath.backend import resolve_backend
+
+    backend = resolve_backend(args.backend,
+                              experiment="comparison_matrix")
+    cells = comparison_matrix(
+        bits=args.bits, seed=args.seed, workers=args.workers,
+        backend=backend,
+    )
+    scenario_keys = [scenario.key for scenario in SCENARIOS]
+    by_channel: dict[str, dict[str, object]] = {}
+    for cell in cells:
+        by_channel.setdefault(cell.channel, {})[cell.scenario] = cell
+    agree = total = 0
+    rows = []
+    for channel, row_cells in by_channel.items():
+        row = [channel]
+        for key in scenario_keys:
+            cell = row_cells.get(key)
+            if cell is None:
+                row.append("-")
+                continue
+            row.append(cell.mark)
+            expected = PAPER_TABLE3.get(channel, {}).get(key)
+            if expected is not None:
+                total += 1
+                agree += int(cell.functional is expected)
+        rows.append(row)
+    if not args.json:
+        print(format_table(
+            ["channel"] + scenario_keys, rows,
+            title=f"channel x scenario functionality (Table 3); "
+                  f"{agree}/{total} cells match the paper",
+        ))
+    return {
+        "experiment": "compare",
+        "backend": backend,
+        "results": {
+            "cells": cells,
+            "paper_agreement": {"matched": agree, "graded": total},
+        },
+    }
 
 
 def _cmd_fingerprint(args: argparse.Namespace) -> dict:
@@ -496,6 +558,12 @@ def _cmd_validate(args: argparse.Namespace) -> dict:
         run_validation,
     )
 
+    if args.backend is not None and not args.differential:
+        raise ValidationError(
+            "--backend narrows the backend-equivalence checks and "
+            "only applies with --differential"
+        )
+
     if args.replay:
         outcome = replay_repro(args.replay)
         if not args.json:
@@ -526,7 +594,9 @@ def _cmd_validate(args: argparse.Namespace) -> dict:
         import tempfile
 
         with tempfile.TemporaryDirectory() as workdir:
-            reports = run_differential_suite(workdir, seed=args.seed)
+            reports = run_differential_suite(
+                workdir, seed=args.seed, backend=args.backend
+            )
         if not args.json:
             rows = [
                 [r.name, "ok" if r.matched else "MISMATCH", r.detail]
@@ -541,6 +611,7 @@ def _cmd_validate(args: argparse.Namespace) -> dict:
             )
         return {
             "experiment": "validate-differential",
+            "backend": args.backend,
             "results": {"checks": len(reports), "mismatches": 0},
         }
 
@@ -629,6 +700,18 @@ def _cmd_chaos(args: argparse.Namespace) -> dict:
             "total": len(outcomes),
         },
     }
+
+
+def _add_backend_flag(subparser: argparse.ArgumentParser) -> None:
+    from .fastpath.backend import BACKENDS
+
+    subparser.add_argument(
+        "--backend", choices=BACKENDS, default=None,
+        help="simulation backend: des (reference), batch "
+             "(vectorized, bit-identical to des), analytical "
+             "(closed-form estimate), auto (batch where supported); "
+             "default $REPRO_BACKEND, then des",
+    )
 
 
 def _add_resume_flag(subparser: argparse.ArgumentParser) -> None:
@@ -730,6 +813,7 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="MS", default=None,
                           help="interval lengths (ms) to sweep "
                                "(default: the Figure 10 grid)")
+    _add_backend_flag(capacity)
     _add_resume_flag(capacity)
     _add_retries_flag(capacity)
     _add_json_flag(capacity)
@@ -749,10 +833,26 @@ def build_parser() -> argparse.ArgumentParser:
     defenses.add_argument("--bits", type=int, default=60)
     defenses.add_argument("--energy", action="store_true",
                           help="also run the energy-overhead study")
+    _add_backend_flag(defenses)
     _add_resume_flag(defenses)
     _add_retries_flag(defenses)
     _add_json_flag(defenses)
     defenses.set_defaults(handler=_cmd_defenses)
+
+    compare = commands.add_parser(
+        "compare",
+        help="the Table 3 channel x scenario comparison",
+        description="Run every covert channel in every defensive "
+                    "scenario and grade functionality, reproducing "
+                    "Table 3.  Cells are graded against the paper's "
+                    "published marks.  DES only: the matrix mixes "
+                    "non-UFS channels the vectorized backends do not "
+                    "model.",
+    )
+    compare.add_argument("--bits", type=int, default=24)
+    _add_backend_flag(compare)
+    _add_json_flag(compare)
+    compare.set_defaults(handler=_cmd_compare)
 
     fingerprint = commands.add_parser(
         "fingerprint", help="the Figure 12 website fingerprinting study"
@@ -879,6 +979,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="run the differential suite (serial vs "
                                "parallel, cold vs warm store, live vs "
                                "replay) instead of fuzzing")
+    _add_backend_flag(validate)
     _add_resume_flag(validate)
     _add_json_flag(validate)
     validate.set_defaults(handler=_cmd_validate)
@@ -950,6 +1051,7 @@ def main(argv: list[str] | None = None) -> int:
             platform=default_platform_config(),
             wall_time_s=wall_time_s,
             results=payload["results"],
+            backend=payload.get("backend"),
         )
         if args.telemetry:
             write_manifest(args.telemetry, manifest)

@@ -1,14 +1,15 @@
 """The shared experiment-context bundle.
 
-Every public experiment runner accepts the same keyword trio —
-``platform=``, ``seed=``, ``workers=`` — and, equivalently, a single
-``context=ExperimentContext(...)`` bundling them.  The bundle exists so
-runner signatures stop drifting: a new runner takes ``context=`` plus
-the trio and resolves them through :meth:`ExperimentContext.coalesce`.
+Every public experiment runner accepts the same keyword quartet —
+``platform=``, ``seed=``, ``workers=``, ``backend=`` — and,
+equivalently, a single ``context=ExperimentContext(...)`` bundling
+them.  The bundle exists so runner signatures stop drifting: a new
+runner takes ``context=`` plus the quartet and resolves them through
+:meth:`ExperimentContext.coalesce`.
 
-Resolution rule: an explicit ``context`` wins wholesale (its three
-fields replace the trio); otherwise the trio builds a fresh context.
-Mixing both in one call is ambiguous and raises.
+Resolution rule: an explicit ``context`` wins wholesale (its fields
+replace the loose keywords); otherwise the keywords build a fresh
+context.  Mixing both in one call is ambiguous and raises.
 """
 
 from __future__ import annotations
@@ -20,26 +21,33 @@ from ..errors import ConfigError
 
 __all__ = ["ExperimentContext"]
 
-# Trio defaults, used both here and to detect "caller left the trio
-# untouched" when a context is passed alongside it.
+# Keyword defaults, used both here and to detect "caller left the
+# keywords untouched" when a context is passed alongside them.
 _DEFAULT_SEED = 0
 _DEFAULT_WORKERS: int | None = 1
+_DEFAULT_BACKEND: str | None = None
 
 
 @dataclass(frozen=True)
 class ExperimentContext:
-    """How an experiment runs: platform, seed and process fan-out.
+    """How an experiment runs: platform, seed, fan-out and simulator.
 
     * ``platform`` — the simulated hardware (``None`` = the paper's
       Table 1 dual-socket default);
     * ``seed`` — the experiment seed every trial's streams derive from;
     * ``workers`` — process fan-out for independent trials (``None``/
-      ``0`` = all CPUs); never changes results, only wall time.
+      ``0`` = all CPUs); never changes results, only wall time;
+    * ``backend`` — which simulator runs the trials (``"des"``,
+      ``"batch"``, ``"analytical"`` or ``"auto"``; ``None`` defers to
+      ``$REPRO_BACKEND`` and then ``"des"``).  ``"batch"`` is
+      bit-identical to ``"des"``; ``"analytical"`` trades exactness for
+      instant closed-form estimates.
     """
 
     platform: PlatformConfig | None = None
     seed: int = _DEFAULT_SEED
     workers: int | None = _DEFAULT_WORKERS
+    backend: str | None = _DEFAULT_BACKEND
 
     def validate(self) -> None:
         """Raise :class:`ConfigError` on a nonsensical context."""
@@ -47,6 +55,14 @@ class ExperimentContext:
             raise ConfigError(
                 f"workers must be >= 0 (0 = all CPUs), got {self.workers}"
             )
+        if self.backend is not None:
+            from ..fastpath.backend import BACKENDS
+
+            if self.backend not in BACKENDS:
+                raise ConfigError(
+                    f"unknown backend {self.backend!r}: choose one of "
+                    f"{', '.join(BACKENDS)}"
+                )
 
     @classmethod
     def coalesce(
@@ -56,26 +72,30 @@ class ExperimentContext:
         platform: PlatformConfig | None = None,
         seed: int = _DEFAULT_SEED,
         workers: int | None = _DEFAULT_WORKERS,
+        backend: str | None = _DEFAULT_BACKEND,
     ) -> "ExperimentContext":
-        """Resolve ``context=`` against the keyword trio.
+        """Resolve ``context=`` against the loose keywords.
 
-        An explicit context replaces the trio wholesale.  Passing a
-        context *and* non-default trio values in one call is rejected —
-        silently preferring one over the other would hide a bug at the
-        call site.
+        An explicit context replaces the keywords wholesale.  Passing a
+        context *and* non-default keyword values in one call is
+        rejected — silently preferring one over the other would hide a
+        bug at the call site.
         """
         if context is not None:
             if (
                 platform is not None
                 or seed != _DEFAULT_SEED
                 or workers != _DEFAULT_WORKERS
+                or backend != _DEFAULT_BACKEND
             ):
                 raise ConfigError(
-                    "pass either context= or the platform/seed/workers "
-                    "trio, not both"
+                    "pass either context= or the platform/seed/workers/"
+                    "backend keywords, not both"
                 )
             context.validate()
             return context
-        resolved = cls(platform=platform, seed=seed, workers=workers)
+        resolved = cls(
+            platform=platform, seed=seed, workers=workers, backend=backend
+        )
         resolved.validate()
         return resolved

@@ -130,6 +130,17 @@ def random_bits(count: int, seed: int, label: str = "payload") -> list[int]:
     return [int(b) for b in rng.integers(0, 2, count)]
 
 
+def _capacity_runner(resolved: str):
+    """The module-level (hence picklable) batch runner for a backend."""
+    if resolved == "batch":
+        from ..fastpath.batch import batch_capacity_points
+
+        return batch_capacity_points
+    from ..fastpath.analytical import analytical_capacity_points
+
+    return analytical_capacity_points
+
+
 def measure_capacity(
     *,
     interval_ms: float,
@@ -140,15 +151,32 @@ def measure_capacity(
     workers: int | None = 1,
     context: ExperimentContext | None = None,
     sender_mode: SenderMode = SenderMode.STALL,
+    backend: str | None = None,
 ) -> CapacityPoint:
     """Deploy a fresh channel and measure one capacity point.
 
     A single deployment has nothing to fan out, so ``workers`` is
-    accepted for signature uniformity but unused.
+    accepted for signature uniformity but unused.  ``backend`` picks
+    the simulator: ``"des"`` (default) runs the full event-driven
+    system below; ``"batch"`` produces the bit-identical vectorized
+    result; ``"analytical"`` returns the closed-form estimate.
     """
     ctx = ExperimentContext.coalesce(
-        context, platform=platform, seed=seed, workers=workers
+        context, platform=platform, seed=seed, workers=workers,
+        backend=backend,
     )
+    from ..fastpath.backend import CapacityRequest, resolve_backend
+
+    resolved = resolve_backend(ctx.backend, experiment="measure_capacity")
+    if resolved != "des":
+        return _capacity_runner(resolved)([CapacityRequest(
+            interval_ms=interval_ms,
+            bits=bits,
+            cross_processor=cross_processor,
+            seed=ctx.seed,
+            platform=ctx.platform,
+            sender_mode=sender_mode,
+        )])[0]
     seed = ctx.seed
     system = System(ctx.platform, seed=seed)
     config = ChannelConfig(interval_ns=ms(interval_ms))
@@ -186,6 +214,7 @@ def capacity_sweep(
     context: ExperimentContext | None = None,
     checkpoint_dir=None,
     retry=None,
+    backend: str | None = None,
 ) -> SweepResult:
     """The Figure 10 sweep for one deployment.
 
@@ -194,30 +223,33 @@ def capacity_sweep(
     processes and returns the exact same :class:`SweepResult` a serial
     run produces, in interval order.
 
+    ``backend`` picks the simulator per
+    :func:`~repro.fastpath.backend.resolve_backend`: ``"batch"``
+    vectorizes the whole sweep (bit-identical points, an order of
+    magnitude faster) and ``"auto"`` resolves to it; the vectorized
+    backends fan chunks out over ``workers`` through
+    :func:`~repro.engine.parallel.run_batches`.
+
     ``checkpoint_dir`` makes the sweep resumable: each completed point
     is recorded to an atomic checkpoint file keyed by the sweep's
-    (platform, params, seed) digest — the trace store's content-address
-    recipe — so a re-run with identical arguments skips the completed
-    intervals and returns a :class:`SweepResult` bit-identical to an
-    uninterrupted run.  ``retry`` (a
+    (platform, params, seed, backend) digest — the trace store's
+    content-address recipe — so a re-run with identical arguments skips
+    the completed intervals and returns a :class:`SweepResult`
+    bit-identical to an uninterrupted run.  ``retry`` (a
     :class:`~repro.resilience.retry.RetryPolicy`) re-runs transient
     worker crashes in place; a point still failed after its attempts
     raises :class:`~repro.errors.ResilienceError` rather than returning
-    a sweep with holes.
+    a sweep with holes.  ``retry`` applies to the per-point DES path;
+    the vectorized backends run each chunk once.
     """
     ctx = ExperimentContext.coalesce(
-        context, platform=platform, seed=seed, workers=workers
+        context, platform=platform, seed=seed, workers=workers,
+        backend=backend,
     )
-    trials = [
-        Trial(measure_capacity, dict(
-            interval_ms=interval,
-            bits=bits,
-            cross_processor=cross_processor,
-            seed=ctx.seed,
-            platform=ctx.platform,
-        ), label=f"interval-{float(interval):g}")
-        for interval in intervals_ms
-    ]
+    from ..fastpath.backend import CapacityRequest, resolve_backend
+
+    resolved = resolve_backend(ctx.backend, experiment="capacity_sweep")
+    labels = [f"interval-{float(interval):g}" for interval in intervals_ms]
     checkpoint = None
     if checkpoint_dir is not None:
         from ..resilience.checkpoint import Checkpoint
@@ -233,7 +265,37 @@ def capacity_sweep(
                 cross_processor=cross_processor,
             ),
             seed=ctx.seed,
+            backend=resolved,
         )
+    if resolved != "des":
+        from ..engine.parallel import run_batches
+
+        requests = [
+            CapacityRequest(
+                interval_ms=interval,
+                bits=bits,
+                cross_processor=cross_processor,
+                seed=ctx.seed,
+                platform=ctx.platform,
+            )
+            for interval in intervals_ms
+        ]
+        points = run_batches(
+            requests, _capacity_runner(resolved),
+            workers=ctx.workers, labels=labels, checkpoint=checkpoint,
+        )
+        return SweepResult(points=tuple(points))
+    trials = [
+        Trial(measure_capacity, dict(
+            interval_ms=interval,
+            bits=bits,
+            cross_processor=cross_processor,
+            seed=ctx.seed,
+            platform=ctx.platform,
+            backend="des",
+        ), label=label)
+        for interval, label in zip(intervals_ms, labels)
+    ]
     points = run_trials(
         trials, workers=ctx.workers,
         on_error="retry" if retry is not None else "raise",
@@ -275,15 +337,38 @@ def mean_error_over_seeds(interval_ms: float, *, bits: int = 80,
                           platform: PlatformConfig | None = None,
                           workers: int | None = 1,
                           context: ExperimentContext | None = None,
+                          backend: str | None = None,
                           ) -> float:
     """Average BER across seeds (smooths single-run variance).
 
     The per-trial seeds come from ``seeds``; a ``context.seed`` (or the
-    ``seed=`` trio member) is not meaningful here and is ignored.
+    loose ``seed=`` keyword) is not meaningful here and is ignored.
     """
     ctx = ExperimentContext.coalesce(
-        context, platform=platform, workers=workers
+        context, platform=platform, workers=workers, backend=backend
     )
+    from ..fastpath.backend import CapacityRequest, resolve_backend
+
+    resolved = resolve_backend(
+        ctx.backend, experiment="mean_error_over_seeds"
+    )
+    if resolved != "des":
+        from ..engine.parallel import run_batches
+
+        requests = [
+            CapacityRequest(
+                interval_ms=interval_ms,
+                bits=bits,
+                cross_processor=cross_processor,
+                seed=seed,
+                platform=ctx.platform,
+            )
+            for seed in seeds
+        ]
+        points = run_batches(
+            requests, _capacity_runner(resolved), workers=ctx.workers
+        )
+        return float(np.mean([point.error_rate for point in points]))
     trials = [
         Trial(measure_capacity, dict(
             interval_ms=interval_ms,
@@ -291,6 +376,7 @@ def mean_error_over_seeds(interval_ms: float, *, bits: int = 80,
             cross_processor=cross_processor,
             seed=seed,
             platform=ctx.platform,
+            backend="des",
         ))
         for seed in seeds
     ]

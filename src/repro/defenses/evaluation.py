@@ -57,16 +57,41 @@ class DefenseReport:
         return self.error_rate >= 0.25
 
 
+def _defense_runner(resolved: str):
+    """The module-level (hence picklable) batch runner for a backend."""
+    if resolved == "batch":
+        from ..fastpath.batch import batch_defense_reports
+
+        return batch_defense_reports
+    from ..fastpath.analytical import analytical_defense_reports
+
+    return analytical_defense_reports
+
+
 def channel_under_defense(defense: str, *, bits: int = 80,
                           interval_ms: float = 38.0,
                           seed: int = 0,
                           platform: PlatformConfig | None = None,
+                          backend: str | None = None,
                           ) -> DefenseReport:
     """Deploy UF-variation against one active countermeasure.
 
     ``platform`` overrides the base platform the defense modifies
-    (default: the paper's Table 1 system).
+    (default: the paper's Table 1 system).  ``backend`` picks the
+    simulator (``"des"`` default; ``"batch"`` is bit-identical,
+    ``"analytical"`` closed-form).
     """
+    from ..fastpath.backend import DefenseRequest, resolve_backend
+
+    resolved = resolve_backend(backend, experiment="channel_under_defense")
+    if resolved != "des":
+        return _defense_runner(resolved)([DefenseRequest(
+            defense=defense,
+            bits=bits,
+            interval_ms=interval_ms,
+            seed=seed,
+            platform=platform,
+        )])[0]
     if platform is None:
         platform = default_platform_config()
     if defense == "restricted_1500_1700":
@@ -123,32 +148,32 @@ def evaluate_defenses(*, bits: int = 80, seed: int = 0,
                       context: ExperimentContext | None = None,
                       checkpoint_dir=None,
                       retry=None,
+                      backend: str | None = None,
                       ) -> list[DefenseReport]:
     """UF-variation under every countermeasure.
 
     Each defense deploys its own seeded system, so the reports are
     independent trials: ``workers > 1`` evaluates them in parallel
     processes and still returns them in ``defenses`` order,
-    bit-identical to the serial run.
+    bit-identical to the serial run.  ``backend`` picks the simulator
+    per :func:`~repro.fastpath.backend.resolve_backend`; the vectorized
+    backends fan chunks out over ``workers`` through
+    :func:`~repro.engine.parallel.run_batches`.
 
     ``checkpoint_dir`` / ``retry`` behave exactly as in
     :func:`repro.core.evaluation.capacity_sweep`: completed defenses
     are checkpointed for bit-identical resume, transient crashes are
-    retried, and a defense still failed after its attempts raises
-    :class:`~repro.errors.ResilienceError`.
+    retried (DES path only), and a defense still failed after its
+    attempts raises :class:`~repro.errors.ResilienceError`.
     """
     ctx = ExperimentContext.coalesce(
-        context, platform=platform, seed=seed, workers=workers
+        context, platform=platform, seed=seed, workers=workers,
+        backend=backend,
     )
-    trials = [
-        Trial(channel_under_defense, dict(
-            defense=defense,
-            bits=bits,
-            seed=ctx.seed,
-            platform=ctx.platform,
-        ), label=f"defense-{defense}")
-        for defense in defenses
-    ]
+    from ..fastpath.backend import DefenseRequest, resolve_backend
+
+    resolved = resolve_backend(ctx.backend, experiment="evaluate_defenses")
+    labels = [f"defense-{defense}" for defense in defenses]
     checkpoint = None
     if checkpoint_dir is not None:
         from ..resilience.checkpoint import Checkpoint
@@ -160,7 +185,34 @@ def evaluate_defenses(*, bits: int = 80, seed: int = 0,
             platform=effective,
             params=dict(bits=bits, defenses=list(defenses)),
             seed=ctx.seed,
+            backend=resolved,
         )
+    if resolved != "des":
+        from ..engine.parallel import run_batches
+
+        requests = [
+            DefenseRequest(
+                defense=defense,
+                bits=bits,
+                seed=ctx.seed,
+                platform=ctx.platform,
+            )
+            for defense in defenses
+        ]
+        return run_batches(
+            requests, _defense_runner(resolved),
+            workers=ctx.workers, labels=labels, checkpoint=checkpoint,
+        )
+    trials = [
+        Trial(channel_under_defense, dict(
+            defense=defense,
+            bits=bits,
+            seed=ctx.seed,
+            platform=ctx.platform,
+            backend="des",
+        ), label=label)
+        for defense, label in zip(defenses, labels)
+    ]
     reports = run_trials(
         trials, workers=ctx.workers,
         on_error="retry" if retry is not None else "raise",

@@ -28,6 +28,7 @@ results as they land so an interrupted sweep resumes where it stopped.
 from __future__ import annotations
 
 import os
+import warnings
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -44,6 +45,7 @@ __all__ = [
     "Trial",
     "TrialFailure",
     "run_trials",
+    "run_batches",
     "map_trials",
     "trial_seeds",
     "trial_rngs",
@@ -461,9 +463,107 @@ def _run_retry(pending, count, parent, policy, results, snapshots,
         break
 
 
+def _invoke_batch(*, runner: Callable[[Sequence[Any]], list[Any]],
+                  requests: Sequence[Any]) -> list[Any]:
+    """Module-level chunk shim so batch chunks pickle for pooled runs."""
+    return list(runner(requests))
+
+
+def run_batches(requests: Sequence[Any],
+                runner: Callable[[Sequence[Any]], list[Any]], *,
+                workers: int | None = 1,
+                labels: Sequence[str] | None = None,
+                checkpoint=None) -> list[Any]:
+    """Fan a vectorized batch ``runner`` out over contiguous chunks.
+
+    ``runner`` takes a sequence of request records and returns one
+    result per request, in order — the contract of the fastpath
+    backends' ``capacity_points``/``defense_reports``.  Because every
+    request is an independent seeded trial, the results are
+    bit-identical under *any* contiguous partition, so ``workers > 1``
+    simply splits the requests into up to ``workers`` near-equal chunks
+    and runs each chunk through :func:`run_trials` — inheriting its
+    submission-order results, per-chunk telemetry registries and
+    deterministic snapshot merging.
+
+    ``checkpoint`` composes the same way it does for ``run_trials``:
+    ``labels`` must then name every request uniquely; completed labels
+    are resumed from the checkpoint (counted as
+    ``runner.checkpoint.skipped``), only the remainder is dispatched,
+    and each fresh result is recorded under its label.
+    """
+    requests = list(requests)
+    completed: dict[str, Any] = {}
+    if checkpoint is not None:
+        if labels is None:
+            raise ConfigError(
+                "checkpointing requires a label for every request"
+            )
+        labels = list(labels)
+        if len(labels) != len(requests):
+            raise ConfigError(
+                f"{len(labels)} labels for {len(requests)} requests"
+            )
+        if len(set(labels)) != len(labels):
+            raise ConfigError(
+                "checkpointing requires unique request labels"
+            )
+        completed = checkpoint.load()
+
+    parent = active_registry()
+    results: list[Any] = [None] * len(requests)
+    pending: list[int] = []
+    for index in range(len(requests)):
+        label = labels[index] if labels is not None else None
+        if checkpoint is not None and label in completed:
+            results[index] = completed[label]
+            if parent is not None:
+                parent.inc("runner.checkpoint.skipped")
+        else:
+            pending.append(index)
+    if not pending:
+        return results
+
+    count = min(resolve_workers(workers), len(pending))
+    base, extra = divmod(len(pending), count)
+    chunks: list[list[int]] = []
+    start = 0
+    for rank in range(count):
+        size = base + (1 if rank < extra else 0)
+        chunks.append(pending[start:start + size])
+        start += size
+    trials = [
+        Trial(_invoke_batch, dict(
+            runner=runner,
+            requests=[requests[index] for index in chunk],
+        ))
+        for chunk in chunks
+    ]
+    try:
+        for chunk, chunk_results in zip(
+            chunks, run_trials(trials, workers=workers)
+        ):
+            for index, result in zip(chunk, chunk_results):
+                results[index] = result
+                if checkpoint is not None:
+                    checkpoint.record(labels[index], result)
+    finally:
+        if checkpoint is not None:
+            checkpoint.flush()
+    return results
+
+
 def map_trials(func: Callable[..., Any],
                kwargs_list: Iterable[dict[str, Any]], *,
                workers: int | None = 1) -> list[Any]:
-    """Shorthand: ``run_trials`` over one function with varying kwargs."""
+    """Deprecated: build :class:`Trial` records and use
+    :func:`run_trials` (or :func:`run_batches` for a vectorized
+    backend) instead."""
+    warnings.warn(
+        "map_trials() is deprecated; use run_trials() with explicit "
+        "Trial records (or run_batches() for vectorized backends)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return run_trials([Trial(func, kwargs) for kwargs in kwargs_list],
                       workers=workers)

@@ -1,0 +1,636 @@
+"""The numpy-vectorized batch backend.
+
+The DES spends almost all of a capacity trial constructing and ticking
+a full :class:`~repro.platform.system.System` even though, for the
+Figure 9/10 and Table 3 workloads, every event time is known up front:
+sender and receiver flip activity profiles on the fixed interval grid,
+the PMU evaluates every 10 ms, and the frequency never feeds back into
+*when* anything happens — only into what the receiver measures.  That
+decouples a trial into two phases this module exploits:
+
+**Phase A — the frequency lattice.**  All trials of a group advance
+together through the merged event stream of per-socket PMU grids (10 ms
+period, 0.5 ms socket stagger) and randomized-defense repicks (100 ms,
+ordered before colocated ticks exactly as the event queue does).  Per
+tick, each trial's observation is folded by the *same*
+:func:`~repro.power.ufs.accumulate_observation` the PMU uses, over
+replica :class:`~repro.cpu.activity.ProfileTimeline` histories of the
+touched cores only (untouched cores contribute exact zeros), and one
+:func:`~repro.power.ufs.ufs_control_step` call advances every trial's
+socket state as arrays.  Element-wise IEEE identity of that shared
+control law is what makes the lattice bit-identical to the DES
+frequency timeline.
+
+**Phase B — the receiver replay.**  Per trial, a fresh
+:class:`~repro.platform.latency.LatencyModel` on the trial's
+``latency-noise`` stream replays the receiver's RNG consumption in DES
+order: the probe warm-up draws, then per measurement window the
+per-segment sufficient statistics
+(:meth:`~repro.platform.latency.LatencyModel.segment_llc_sum`) with
+segments split at the receiver socket's PMU grid and frequencies read
+from the Phase A lattice, then one window bias.  Decoding goes through
+the real :func:`~repro.core.protocol.decode_bit` against the real
+:func:`~repro.core.protocol.calibrate_endpoints`.
+
+Supported shapes are exactly the ``measure_capacity`` /
+``channel_under_defense`` surfaces (including cross-processor
+deployments and every Table 3 defense); anything else belongs on the
+DES.  Equivalence is enforced by the differential suite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..config import PlatformConfig, default_platform_config
+from ..core.channel import TransmissionResult
+from ..core.evaluation import CapacityPoint, random_bits
+from ..core.protocol import ChannelConfig, calibrate_endpoints, decode_bit
+from ..core.sender import SenderMode
+from ..cpu.activity import IDLE, ProfileTimeline
+from ..defenses.evaluation import DEFENSE_KEYS, DefenseReport
+from ..errors import ChannelError
+from ..noc.contention import ContentionTracker
+from ..noc.topology import MeshTopology
+from ..platform.actor import MEASUREMENT_PROFILE
+from ..platform.latency import LatencyModel
+from ..platform.system import _PMU_STAGGER_NS
+from ..power.ufs import accumulate_observation, ufs_control_step
+from ..rng import child_rng
+from ..telemetry.context import active_registry
+from ..units import ms
+from ..workloads.loops import stalling_profile, traffic_profile
+from .backend import CapacityRequest, DefenseRequest
+
+__all__ = [
+    "BatchBackend",
+    "batch_capacity_points",
+    "batch_defense_reports",
+    "batch_frequency_lattices",
+]
+
+#: Fixed channel geometry of the supported experiment surfaces
+#: (:func:`measure_capacity` / :func:`channel_under_defense` never vary
+#: these).
+_SENDER_SOCKET = 0
+_SENDER_CORE = 0
+_SENDER_HOPS = 3
+_RECEIVER_CORE = 8
+_BUSY_CORE = 15
+_BUSY_HOPS = 3
+_REPICK_PERIOD_NS = ms(100.0)
+_PROBE_WARM_ROUNDS = 3
+
+
+@dataclass
+class _CoreSchedule:
+    """One touched core's full profile history plus its turbo flag."""
+
+    timeline: ProfileTimeline
+    above_base: bool
+
+
+@dataclass
+class _TrialPlan:
+    """Everything Phase A/B need to know about one transmission."""
+
+    platform: PlatformConfig  # effective (defense-modified) config
+    seed: int
+    config: ChannelConfig
+    payload: list[int]
+    cross: bool
+    receiver_socket: int
+    receiver_core_mhz: int
+    duration_ns: int
+    #: per socket: core id -> schedule (touched cores only)
+    cores: list[dict[int, _CoreSchedule]]
+    init_limits: list[tuple[int, int]]
+    init_freq: list[int]
+    init_history: list[list[tuple[int, int]]]
+    repick_rng: np.random.Generator | None
+    mark_flows: float
+    space_flows: float
+
+
+def _group_key(platform: PlatformConfig) -> str:
+    """Trials sharing one lattice must agree on everything but the
+    per-trial MSR limits (the restricted-range defense narrows min/max
+    without leaving the group)."""
+    ufs = dataclasses.replace(
+        platform.ufs, min_freq_mhz=0, max_freq_mhz=0
+    )
+    return repr(dataclasses.replace(platform, ufs=ufs))
+
+
+def _route_flows(tracker: ContentionTracker, route, demand_rate: float,
+                 ) -> float:
+    competing = tracker.route_contention(route, observer_domain=0)
+    return competing / demand_rate
+
+
+def _plan_trial(*, platform: PlatformConfig | None, seed: int,
+                interval_ms: float, payload: list[int],
+                cross_processor: bool = False,
+                sender_mode: SenderMode = SenderMode.STALL,
+                defense: str | None = None) -> _TrialPlan:
+    """Compile one channel deployment into a :class:`_TrialPlan`.
+
+    Mirrors, in data, exactly what ``measure_capacity`` /
+    ``channel_under_defense`` build in objects: same defaults, same
+    slice selection, same profile-change times.
+    """
+    base = platform if platform is not None else default_platform_config()
+    effective = base
+    if defense == "restricted_1500_1700":
+        effective = base.with_ufs(min_freq_mhz=1500, max_freq_mhz=1700)
+    config = ChannelConfig(interval_ns=ms(interval_ms))
+    config.validate()
+    ufs = effective.ufs
+    num_sockets = effective.num_sockets
+    receiver_socket = 1 if cross_processor else 0
+    if receiver_socket >= num_sockets:
+        raise ChannelError(
+            "cross-processor deployment needs a second socket"
+        )
+    if not cross_processor and _RECEIVER_CORE == _SENDER_CORE:
+        raise ChannelError("sender and receiver share a core")
+
+    meshes = [MeshTopology(s) for s in effective.sockets]
+    mesh_s = meshes[_SENDER_SOCKET]
+    mesh_r = meshes[receiver_socket]
+
+    # Sender target slice (what _SenderThread.on_attach picks).
+    sender_slices = mesh_s.slices_at_distance(_SENDER_CORE, _SENDER_HOPS)
+    if not sender_slices:
+        from ..errors import PlacementError
+
+        raise PlacementError(
+            f"no slice at distance {_SENDER_HOPS} from core {_SENDER_CORE}"
+        )
+    sender_route = mesh_s.core_slice_route(_SENDER_CORE, sender_slices[0])
+
+    # Receiver measurement slice (Actor.slice_at_distance, full hash).
+    meas_slices = mesh_r.slices_at_distance(_RECEIVER_CORE, config.hops)
+    if not meas_slices:
+        raise ChannelError(
+            f"no slice at distance {config.hops} from the receiver core"
+        )
+    meas_slice = meas_slices[0]
+    receiver_route = mesh_r.core_slice_route(_RECEIVER_CORE, meas_slice)
+
+    # Busy-uncore defense thread placement (SteadyWorkload.on_attach).
+    busy_profile = None
+    busy_route = None
+    if defense == "busy_uncore":
+        mesh0 = meshes[0]
+        busy_profile = traffic_profile(_BUSY_HOPS)
+        candidates = mesh0.slices_at_distance(_BUSY_CORE, _BUSY_HOPS)
+        if candidates:
+            busy_slice = candidates[0]
+        else:
+            busy_slice = min(
+                range(mesh0.num_cores),
+                key=lambda s: (abs(mesh0.hops(_BUSY_CORE, s) - _BUSY_HOPS),
+                               -mesh0.hops(_BUSY_CORE, s)),
+            )
+            busy_profile = dataclasses.replace(
+                busy_profile,
+                mean_hops=float(mesh0.hops(_BUSY_CORE, busy_slice)),
+            )
+        busy_route = mesh0.core_slice_route(_BUSY_CORE, busy_slice)
+
+    # Receiver-visible contention during mark/space intervals.  The
+    # receiver's own measurement loop registers no flow; the sender's
+    # flow lives on its own socket's tracker, invisible cross-socket.
+    mark_profile = (
+        stalling_profile(_SENDER_HOPS)
+        if sender_mode is SenderMode.STALL
+        else traffic_profile(_SENDER_HOPS)
+    )
+    demand_rate = effective.demand.traffic_loop_rate_per_us
+
+    def receiver_flows(sender_active: bool) -> float:
+        tracker = ContentionTracker()
+        if busy_route is not None and receiver_socket == 0:
+            tracker.add_flow(busy_route, busy_profile.llc_rate_per_us,
+                             domain=0)
+        if sender_active and receiver_socket == _SENDER_SOCKET:
+            tracker.add_flow(sender_route, mark_profile.llc_rate_per_us,
+                             domain=0)
+        return _route_flows(tracker, receiver_route, demand_rate)
+
+    # Profile schedules of every touched core, in DES call order.
+    governor = defense == "performance_governor"
+    cores: list[dict[int, _CoreSchedule]] = [
+        {} for _ in range(num_sockets)
+    ]
+
+    def schedule(socket_id: int, core_id: int) -> ProfileTimeline:
+        entry = cores[socket_id].get(core_id)
+        if entry is None:
+            entry = _CoreSchedule(
+                timeline=ProfileTimeline(),
+                above_base=governor and socket_id == 0,
+            )
+            cores[socket_id][core_id] = entry
+        return entry.timeline
+
+    interval = config.interval_ns
+    measure = config.measure_ns
+    bits = len(payload)
+    duration = bits * interval
+
+    sender_tl = schedule(_SENDER_SOCKET, _SENDER_CORE)
+    sender_tl.set_profile(0, IDLE)  # UFSender ctor space()
+    for index, bit in enumerate(payload):
+        sender_tl.set_profile(index * interval,
+                              mark_profile if bit else IDLE)
+    sender_tl.set_profile(duration, IDLE)  # trailing drive(0)
+
+    receiver_tl = schedule(receiver_socket, _RECEIVER_CORE)
+    for index in range(bits):
+        start = index * interval
+        receiver_tl.set_profile(start, MEASUREMENT_PROFILE)
+        receiver_tl.set_profile(start + measure, IDLE)
+        receiver_tl.set_profile(start + interval - measure,
+                                MEASUREMENT_PROFILE)
+        receiver_tl.set_profile(start + interval, IDLE)
+
+    if busy_route is not None:
+        schedule(0, _BUSY_CORE).set_profile(0, busy_profile)
+
+    # t=0 MSR state: base limits, idle clamp, then the defense's writes
+    # in System-construction order.
+    init_limits = [(ufs.min_freq_mhz, ufs.max_freq_mhz)] * num_sockets
+    init_freq = [
+        max(ufs.min_freq_mhz,
+            min(ufs.max_freq_mhz, ufs.active_idle_high_mhz))
+        for _ in range(num_sockets)
+    ]
+    init_history = [[(0, f)] for f in init_freq]
+    repick_rng = None
+
+    fixed = None
+    if defense == "fixed_max":
+        fixed = ufs.max_freq_mhz
+    elif defense == "fixed_mid":
+        fixed = 1800
+    elif defense == "randomized":
+        repick_rng = child_rng(seed, "random-freq-defense")
+        points = ufs.frequency_points_mhz
+        fixed = int(points[repick_rng.integers(len(points))])
+    if fixed is not None:
+        init_limits = [(fixed, fixed)] * num_sockets
+        for socket_id in range(num_sockets):
+            if init_freq[socket_id] != fixed:
+                init_freq[socket_id] = fixed
+                init_history[socket_id].append((0, fixed))
+
+    receiver_core_mhz = effective.sockets[receiver_socket].base_freq_mhz
+    if governor and receiver_socket == 0:
+        receiver_core_mhz = 3200  # DvfsGovernor PERFORMANCE turbo pin
+
+    return _TrialPlan(
+        platform=effective,
+        seed=seed,
+        config=config,
+        payload=list(payload),
+        cross=cross_processor,
+        receiver_socket=receiver_socket,
+        receiver_core_mhz=receiver_core_mhz,
+        duration_ns=duration,
+        cores=cores,
+        init_limits=init_limits,
+        init_freq=init_freq,
+        init_history=init_history,
+        repick_rng=repick_rng,
+        mark_flows=receiver_flows(True),
+        space_flows=receiver_flows(False),
+    )
+
+
+# -- Phase A: the frequency lattice -------------------------------------------
+
+
+def _run_lattice(plans: list[_TrialPlan],
+                 ) -> list[list[list[tuple[int, int]]]]:
+    """Advance every plan's UFS state to its horizon; return, per plan
+    and per socket, the frequency history as ``(time_ns, mhz)`` points
+    (initial point included, equal-frequency writes deduplicated — the
+    exact :meth:`FrequencyTimeline.points` shape)."""
+    rep = plans[0].platform
+    ufs = rep.ufs
+    demand = rep.demand
+    num_sockets = rep.num_sockets
+    coupled = rep.cross_socket_coupling and num_sockets > 1
+    period = ufs.period_ns
+    observation = ufs.observation_ns
+    count = len(plans)
+    durations = [plan.duration_ns for plan in plans]
+    horizon = max(durations)
+
+    freq = [
+        np.array([plan.init_freq[s] for plan in plans], dtype=np.int64)
+        for s in range(num_sockets)
+    ]
+    dither = [np.zeros(count, dtype=np.int64) for _ in range(num_sockets)]
+    countdown = [
+        np.zeros(count, dtype=np.int64) for _ in range(num_sockets)
+    ]
+    min_lim = [
+        np.array([plan.init_limits[s][0] for plan in plans],
+                 dtype=np.int64)
+        for s in range(num_sockets)
+    ]
+    max_lim = [
+        np.array([plan.init_limits[s][1] for plan in plans],
+                 dtype=np.int64)
+        for s in range(num_sockets)
+    ]
+    history = [
+        [list(plan.init_history[s]) for s in range(num_sockets)]
+        for plan in plans
+    ]
+
+    # Merged event stream.  Repicks share their instants with socket-0
+    # ticks; the defense task was (re)scheduled earlier than the PMU's
+    # reschedule, so it fires first — order key 0 vs 1 encodes that.
+    events: list[tuple[int, int, int]] = []
+    for socket_id in range(num_sockets):
+        tick = period + socket_id * _PMU_STAGGER_NS
+        while tick <= horizon:
+            events.append((tick, 1, socket_id))
+            tick += period
+    if any(plan.repick_rng is not None for plan in plans):
+        repick = _REPICK_PERIOD_NS
+        while repick <= horizon:
+            events.append((repick, 0, -1))
+            repick += _REPICK_PERIOD_NS
+    events.sort()
+
+    for time_ns, order, socket_id in events:
+        if order == 0:  # randomized-defense repick, all sockets
+            for index, plan in enumerate(plans):
+                if plan.repick_rng is None or time_ns > durations[index]:
+                    continue
+                points = plan.platform.ufs.frequency_points_mhz
+                pick = int(points[plan.repick_rng.integers(len(points))])
+                for s in range(num_sockets):
+                    min_lim[s][index] = pick
+                    max_lim[s][index] = pick
+                    if int(freq[s][index]) != pick:
+                        freq[s][index] = pick
+                        history[index][s].append((time_ns, pick))
+            continue
+
+        window_start = time_ns - observation
+        active = np.zeros(count, dtype=np.int64)
+        stalled = np.zeros(count, dtype=np.int64)
+        llc_rate = np.zeros(count, dtype=np.float64)
+        noc_score = np.zeros(count, dtype=np.float64)
+        max_stall = np.zeros(count, dtype=np.float64)
+        turbo = np.zeros(count, dtype=bool)
+        mask = np.zeros(count, dtype=bool)
+        for index, plan in enumerate(plans):
+            if time_ns > durations[index]:
+                continue
+            mask[index] = True
+            touched = plan.cores[socket_id]
+            if not touched:
+                continue  # all-idle socket: the fold yields exact zeros
+            (active[index], stalled[index], llc_rate[index],
+             noc_score[index], max_stall[index], turbo[index]) = (
+                accumulate_observation(
+                    (
+                        (entry.timeline.window_stats(window_start,
+                                                     time_ns),
+                         entry.above_base)
+                        for _, entry in sorted(touched.items())
+                    ),
+                    ufs.stall_ratio_threshold,
+                )
+            )
+        if not mask.any():
+            continue
+
+        remote = None
+        if coupled:
+            others = [freq[s] for s in range(num_sockets)
+                      if s != socket_id]
+            remote = (others[0] if len(others) == 1
+                      else np.maximum.reduce(others))
+        result = ufs_control_step(
+            freq_mhz=freq[socket_id],
+            dither_phase=dither[socket_id],
+            slow_countdown=countdown[socket_id],
+            min_limit_mhz=min_lim[socket_id],
+            max_limit_mhz=max_lim[socket_id],
+            active=active,
+            stalled=stalled,
+            llc_rate=llc_rate,
+            noc_score=noc_score,
+            max_stall=max_stall,
+            turbo=turbo,
+            remote_mhz=remote,
+            ufs=ufs,
+            demand=demand,
+            coupling_lag_mhz=rep.coupling_lag_mhz,
+        )
+        freq[socket_id] = np.where(mask, result.freq_mhz,
+                                   freq[socket_id])
+        dither[socket_id] = np.where(mask, result.dither_phase,
+                                     dither[socket_id])
+        countdown[socket_id] = np.where(mask, result.slow_countdown,
+                                        countdown[socket_id])
+        for index in np.flatnonzero(mask):
+            new_freq = int(freq[socket_id][index])
+            if history[index][socket_id][-1][1] != new_freq:
+                history[index][socket_id].append((time_ns, new_freq))
+
+    return history
+
+
+# -- Phase B: the receiver replay ---------------------------------------------
+
+
+def _replay_trial(plan: _TrialPlan,
+                  lattice: list[list[tuple[int, int]]],
+                  ) -> TransmissionResult:
+    """Replay the receiver's RNG stream against one trial's lattice."""
+    model = LatencyModel(
+        plan.platform.latency, child_rng(plan.seed, "latency-noise")
+    )
+    for _ in range(_PROBE_WARM_ROUNDS * plan.config.list_size):
+        model._noise(1)  # probe warm-up timed loads
+    endpoints = calibrate_endpoints(
+        plan.platform, model, hops=plan.config.hops,
+        cross_processor=plan.cross,
+    )
+
+    times = [point[0] for point in lattice[plan.receiver_socket]]
+    freqs = [point[1] for point in lattice[plan.receiver_socket]]
+    period = plan.platform.ufs.period_ns
+    offset = plan.receiver_socket * _PMU_STAGGER_NS
+    interval = plan.config.interval_ns
+    measure = plan.config.measure_ns
+    hops = plan.config.hops
+    core_mhz = plan.receiver_core_mhz
+
+    def window(start: int, flows: float) -> float:
+        deadline = start + measure
+        now = start
+        total = 0.0
+        count = 0
+        while now < deadline:
+            step = (now - offset) // period + 1
+            next_tick = offset + max(step, 1) * period
+            seg_end = min(deadline, next_tick)
+            mhz = freqs[bisect_right(times, now) - 1]
+            mean_lat = model.mean_llc_cycles(hops, mhz)
+            iter_ns = model.loop_iteration_ns(mean_lat, core_mhz)
+            samples = max(int((seg_end - now) / iter_ns), 1)
+            total += model.segment_llc_sum(samples, hops, mhz, flows)
+            count += samples
+            now = seg_end
+        return total / count + model.window_bias()
+
+    received: list[int] = []
+    for index, bit in enumerate(plan.payload):
+        flows = plan.mark_flows if bit else plan.space_flows
+        t1 = window(index * interval, flows)
+        t2 = window((index + 1) * interval - measure, flows)
+        received.append(decode_bit(t1, t2, endpoints, plan.config))
+    return TransmissionResult(
+        sent=tuple(plan.payload),
+        received=tuple(received),
+        interval_ns=interval,
+        duration_ns=plan.duration_ns,
+    )
+
+
+# -- driver -------------------------------------------------------------------
+
+
+def _lattices_for(plans: list[_TrialPlan],
+                  ) -> list[list[list[tuple[int, int]]]]:
+    """Group compatible plans onto shared lattices; submission order."""
+    groups: dict[str, list[int]] = {}
+    for index, plan in enumerate(plans):
+        groups.setdefault(_group_key(plan.platform), []).append(index)
+    lattices: list[list[list[tuple[int, int]]] | None] = (
+        [None] * len(plans)
+    )
+    for members in groups.values():
+        group_histories = _run_lattice([plans[i] for i in members])
+        for slot, index in enumerate(members):
+            lattices[index] = group_histories[slot]
+    return lattices
+
+
+def _run_transmissions(plans: list[_TrialPlan]) -> list[TransmissionResult]:
+    lattices = _lattices_for(plans)
+    registry = active_registry()
+    if registry is not None:
+        registry.inc("fastpath.batch.trials", len(plans))
+    return [
+        _replay_trial(plan, lattice)
+        for plan, lattice in zip(plans, lattices)
+    ]
+
+
+def _capacity_plan(request: CapacityRequest) -> _TrialPlan:
+    payload = random_bits(
+        request.bits, request.seed, f"payload-{request.interval_ms}"
+    )
+    return _plan_trial(
+        platform=request.platform,
+        seed=request.seed,
+        interval_ms=request.interval_ms,
+        payload=payload,
+        cross_processor=request.cross_processor,
+        sender_mode=request.sender_mode,
+    )
+
+
+def _defense_plan(request: DefenseRequest) -> _TrialPlan:
+    if request.defense not in DEFENSE_KEYS:
+        raise ValueError(f"unknown defense {request.defense!r}")
+    payload = random_bits(
+        request.bits, request.seed, f"defense-{request.defense}"
+    )
+    return _plan_trial(
+        platform=request.platform,
+        seed=request.seed,
+        interval_ms=request.interval_ms,
+        payload=payload,
+        defense=request.defense,
+    )
+
+
+def batch_capacity_points(
+    requests: Sequence[CapacityRequest],
+) -> list[CapacityPoint]:
+    """Vectorized ``measure_capacity`` over many requests at once."""
+    plans = [_capacity_plan(request) for request in requests]
+    results = _run_transmissions(plans)
+    return [
+        CapacityPoint(
+            interval_ms=request.interval_ms,
+            raw_rate_bps=result.raw_rate_bps,
+            error_rate=result.error_rate,
+            capacity_bps=result.capacity_bps,
+            bits=request.bits,
+        )
+        for request, result in zip(requests, results)
+    ]
+
+
+def batch_defense_reports(
+    requests: Sequence[DefenseRequest],
+) -> list[DefenseReport]:
+    """Vectorized ``channel_under_defense`` over many requests."""
+    plans = [_defense_plan(request) for request in requests]
+    results = _run_transmissions(plans)
+    return [
+        DefenseReport(
+            defense=request.defense,
+            error_rate=result.error_rate,
+            capacity_bps=result.capacity_bps,
+        )
+        for request, result in zip(requests, results)
+    ]
+
+
+def batch_frequency_lattices(
+    requests: Sequence[CapacityRequest | DefenseRequest],
+) -> list[list[tuple[tuple[int, int], ...]]]:
+    """Phase A only: per request, per socket, the ``(time_ns, mhz)``
+    frequency points.  The validation oracles use this to assert every
+    batch frequency stays on the trial's UFS operating-point grid."""
+    plans = [
+        _defense_plan(request) if isinstance(request, DefenseRequest)
+        else _capacity_plan(request)
+        for request in requests
+    ]
+    lattices = _lattices_for(plans)
+    return [
+        [tuple(socket_points) for socket_points in lattice]
+        for lattice in lattices
+    ]
+
+
+class BatchBackend:
+    """:class:`~repro.fastpath.backend.SimBackend` over the lattice."""
+
+    name = "batch"
+
+    def capacity_points(self, requests):
+        return batch_capacity_points(requests)
+
+    def defense_reports(self, requests):
+        return batch_defense_reports(requests)

@@ -323,10 +323,12 @@ class Actor:
         hit), so per-access simulation is redundant: between PMU
         evaluations the uncore frequency — and hence the latency
         distribution — is constant.  The window is split at PMU tick
-        boundaries; each segment contributes a vectorised batch of
-        samples sized by the fenced iteration time.  Statistically
-        identical to the per-access loop at a tiny fraction of the cost,
-        which is what makes multi-hundred-bit capacity sweeps feasible.
+        boundaries; each segment contributes the sufficient statistic of
+        its sample batch (:meth:`LatencyModel.segment_llc_sum`), sized
+        by the fenced iteration time.  Statistically identical to the
+        per-access loop at a tiny fraction of the cost — and the batch
+        backend replays the exact same per-segment draws, which is what
+        makes the two backends bit-identical.
         """
         engine = self.system.engine
         model = self.system.latency_model
@@ -347,8 +349,7 @@ class Actor:
             mean_lat = model.mean_llc_cycles(hops, mhz)
             iter_ns = model.loop_iteration_ns(mean_lat, self.core.freq_mhz)
             n = max(int((seg_end - engine.now) / iter_ns), 1)
-            samples = model.sample_many(n, Level.LLC, hops, mhz, flows)
-            total += float(samples.sum())
+            total += model.segment_llc_sum(n, hops, mhz, flows)
             count += n
             engine.run_for(seg_end - engine.now)
         if previous is not None:

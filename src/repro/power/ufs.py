@@ -28,8 +28,10 @@ countermeasures build on exactly this).
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..config import DemandModelConfig, UfsConfig
 from ..cpu.core import Core
@@ -97,6 +99,213 @@ class DemandModel:
             if t is not None
         ]
         return max(candidates) if candidates else None
+
+
+def accumulate_observation(
+    samples: Iterable[tuple], stall_ratio_threshold: float
+) -> tuple[int, int, float, float, float, bool]:
+    """Fold per-core window statistics into one socket observation.
+
+    ``samples`` yields ``(stats, above_base)`` pairs — one
+    :class:`~repro.cpu.activity.WindowStats` plus the core's turbo flag
+    per core, in core order.  The fold is the single definition of what
+    the PMU "sees" each period; both the event-driven PMU and the batch
+    backend call it, so their observations agree bit for bit (floating
+    point accumulation is order-sensitive).
+    """
+    active = 0
+    stalled = 0
+    llc_rate = 0.0
+    noc_score = 0.0
+    max_stall = 0.0
+    turbo_active = False
+    for stats, above_base in samples:
+        llc_rate += stats.llc_rate_per_us
+        noc_score += stats.noc_score
+        # Stall residue weighted by how much of the window the core was
+        # active — a core stalled for 2 of 5 ms contributes 0.4 of its
+        # stall ratio.
+        residue = stats.stall_ratio * stats.active_fraction
+        max_stall = max(max_stall, residue)
+        if above_base and stats.active_fraction > 0.05:
+            turbo_active = True
+        if stats.is_active:
+            active += 1
+            if residue > stall_ratio_threshold:
+                stalled += 1
+    return (active, stalled, llc_rate, noc_score, max_stall, turbo_active)
+
+
+#: Sentinel in target arrays for "no demand" (the scalar path's None).
+NO_TARGET = np.int64(-1)
+
+
+@dataclass(frozen=True)
+class UfsStepResult:
+    """Next state plus per-trial decision flags of one control step.
+
+    ``freq_mhz`` / ``dither_phase`` / ``slow_countdown`` are the updated
+    state arrays; the remaining fields describe what each element
+    decided, in exactly the shape :meth:`UfsPmu._record` wants: the
+    recorded target, whether the stall rule fired, whether stepping was
+    heavy, and whether the turbo pin or the decrease veto applied.
+    """
+
+    freq_mhz: np.ndarray
+    dither_phase: np.ndarray
+    slow_countdown: np.ndarray
+    target_mhz: np.ndarray
+    stall_rule: np.ndarray
+    heavy: np.ndarray
+    turbo_pin: np.ndarray
+    veto: np.ndarray
+
+
+def _band_targets(bands: tuple[tuple[float, int], ...],
+                  units: np.ndarray) -> np.ndarray:
+    """Vectorized :meth:`DemandModel._band_target` (-1 = no demand)."""
+    target = np.full(units.shape, NO_TARGET, dtype=np.int64)
+    for threshold, freq in bands:
+        target = np.where(units >= threshold, np.int64(freq), target)
+    return target
+
+
+def ufs_control_step(
+    *,
+    freq_mhz: np.ndarray,
+    dither_phase: np.ndarray,
+    slow_countdown: np.ndarray,
+    min_limit_mhz: np.ndarray,
+    max_limit_mhz: np.ndarray,
+    active: np.ndarray,
+    stalled: np.ndarray,
+    llc_rate: np.ndarray,
+    noc_score: np.ndarray,
+    max_stall: np.ndarray,
+    turbo: np.ndarray,
+    remote_mhz: np.ndarray | None = None,
+    ufs: UfsConfig,
+    demand: DemandModelConfig,
+    coupling_lag_mhz: int = 100,
+) -> UfsStepResult:
+    """One PMU evaluation for N sockets at once, as pure array math.
+
+    This is the control law of Section 3.5 with every trial-dependent
+    quantity lifted to an array: the event-driven :class:`UfsPmu` calls
+    it with shape-``(1,)`` arrays, the batch backend with one element
+    per trial.  All element-wise operations are IEEE-identical to the
+    scalar expressions they replace, so both paths take bit-identical
+    decisions.
+
+    ``remote_mhz`` is the fastest *other* socket's frequency (coupling),
+    or ``None`` on single-socket platforms.  Limits are per-element so
+    trials under different ``UNCORE_RATIO_LIMIT`` countermeasures can
+    share one lattice.
+    """
+    freq = np.asarray(freq_mhz, dtype=np.int64)
+    phase = np.asarray(dither_phase, dtype=np.int64)
+    countdown = np.asarray(slow_countdown, dtype=np.int64)
+    min_limit = np.asarray(min_limit_mhz, dtype=np.int64)
+    max_limit = np.asarray(max_limit_mhz, dtype=np.int64)
+    active = np.asarray(active, dtype=np.int64)
+    stalled = np.asarray(stalled, dtype=np.int64)
+    llc_rate = np.asarray(llc_rate, dtype=np.float64)
+    noc_score = np.asarray(noc_score, dtype=np.float64)
+    max_stall = np.asarray(max_stall, dtype=np.float64)
+    turbo = np.asarray(turbo, dtype=bool)
+
+    def clamp(values: np.ndarray) -> np.ndarray:
+        return np.maximum(min_limit, np.minimum(max_limit, values))
+
+    enabled = min_limit != max_limit
+    normal = enabled & ~turbo
+
+    # -- target selection (stall rule, demand bands, coupling) ----------
+    rate = demand.traffic_loop_rate_per_us
+    demand_target = np.maximum(
+        _band_targets(demand.llc_bands, llc_rate / rate),
+        _band_targets(demand.noc_bands, noc_score / rate),
+    )
+    stall_rule = (active > 0) & (
+        stalled > ufs.stalled_fraction_trigger * active
+    )
+    target = np.where(
+        stall_rule,
+        max_limit,
+        np.where(demand_target >= 0, clamp(demand_target), NO_TARGET),
+    )
+
+    coupled_binding = np.zeros(freq.shape, dtype=bool)
+    if remote_mhz is not None:
+        coupled = clamp(
+            np.asarray(remote_mhz, dtype=np.int64) - coupling_lag_mhz
+        )
+        coupled_binding = ((target < 0) | (coupled > target)) & (
+            coupled > ufs.active_idle_high_mhz
+        )
+        target = np.where(coupled_binding, coupled, target)
+
+    # -- idle dither and the decrease-hysteresis veto -------------------
+    no_target = target < 0
+    advance = normal & no_target
+    new_phase = np.where(advance, (phase + 1) % 4, phase)
+    idle_target = clamp(
+        np.where(
+            new_phase == 0,
+            np.int64(ufs.active_idle_low_mhz),
+            np.int64(ufs.active_idle_high_mhz),
+        )
+    )
+    veto = (
+        advance
+        & (idle_target < freq)
+        & (max_stall > ufs.decrease_veto_stall_ratio)
+    )
+    idle_final = np.where(veto, freq, idle_target)
+    heavy = ~no_target & (
+        stall_rule | (target >= max_limit) | coupled_binding
+    )
+    effective = np.where(no_target, idle_final, target)
+
+    # -- stepping (fast to the ceiling, slow otherwise) -----------------
+    step = np.int64(ufs.step_mhz)
+    increase = effective > freq
+    decrease = effective < freq
+    slow_gate = increase & ~heavy
+    blocked = slow_gate & (countdown > 0)
+    new_countdown = np.where(
+        blocked,
+        countdown - 1,
+        np.where(
+            slow_gate,
+            np.int64(ufs.slow_step_periods - 1),
+            np.where(increase, countdown, np.int64(0)),
+        ),
+    )
+    stepped = np.where(
+        increase & ~blocked,
+        np.minimum(freq + step, effective),
+        np.where(decrease, np.maximum(freq - step, effective), freq),
+    )
+
+    # -- overlay the turbo pin and the UFS-disabled fixed point ---------
+    turbo_pin = turbo & enabled
+    return UfsStepResult(
+        freq_mhz=np.where(
+            normal, stepped, np.where(turbo_pin, max_limit, freq)
+        ),
+        dither_phase=np.where(advance, new_phase, phase),
+        slow_countdown=np.where(
+            normal, new_countdown, np.where(turbo_pin, 0, countdown)
+        ),
+        target_mhz=np.where(
+            normal, effective, np.where(turbo_pin, max_limit, freq)
+        ),
+        stall_rule=stall_rule & normal,
+        heavy=np.where(normal, heavy, turbo_pin),
+        turbo_pin=turbo_pin,
+        veto=veto,
+    )
 
 
 class UfsPmu:
@@ -187,22 +396,6 @@ class UfsPmu:
     def _clamp(self, freq_mhz: int) -> int:
         return max(self.min_limit_mhz, min(self.max_limit_mhz, freq_mhz))
 
-    def _idle_target(self) -> int:
-        """The active-idle dither target for this evaluation.
-
-        The idle uncore rests at the high dither level (1.5 GHz) and
-        dips to the low one (1.4 GHz) for one period in four — matching
-        the paper's traces, which sit at ~1.5 GHz with intermittent
-        excursions to 1.4 GHz (Section 3.1, Figures 5/6).
-        """
-        self._dither_phase = (self._dither_phase + 1) % 4
-        target = (
-            self.config.active_idle_low_mhz
-            if self._dither_phase == 0
-            else self.config.active_idle_high_mhz
-        )
-        return self._clamp(target)
-
     def _observe(self, t0: int,
                  t1: int) -> tuple[int, int, float, float, float]:
         """Integrate all core timelines over the observation window.
@@ -213,32 +406,22 @@ class UfsPmu:
         decrease-hysteresis veto.
         """
         t0 = max(t0, t1 - self.config.observation_ns)
-        active = 0
-        stalled = 0
-        llc_rate = 0.0
-        noc_score = 0.0
-        max_stall = 0.0
-        turbo_active = False
-        for core in self.cores:
-            stats = core.timeline.window_stats(t0, t1)
-            llc_rate += stats.llc_rate_per_us
-            noc_score += stats.noc_score
-            # Stall residue weighted by how much of the window the core
-            # was active — a core stalled for 2 of 5 ms contributes 0.4
-            # of its stall ratio.
-            residue = stats.stall_ratio * stats.active_fraction
-            max_stall = max(max_stall, residue)
-            if core.above_base and stats.active_fraction > 0.05:
-                turbo_active = True
-            if stats.is_active:
-                active += 1
-                if residue > self.config.stall_ratio_threshold:
-                    stalled += 1
-        return (active, stalled, llc_rate, noc_score, max_stall,
-                turbo_active)
+        return accumulate_observation(
+            (
+                (core.timeline.window_stats(t0, t1), core.above_base)
+                for core in self.cores
+            ),
+            self.config.stall_ratio_threshold,
+        )
 
     def _evaluate(self) -> None:
-        """One PMU evaluation: observe, choose a target, step."""
+        """One PMU evaluation: observe, choose a target, step.
+
+        The decision itself is delegated to :func:`ufs_control_step`
+        with shape-``(1,)`` arrays — the same code path the batch
+        backend drives with one element per trial, which is what makes
+        the two backends bit-identical by construction.
+        """
         now = self.engine.now
         t0, t1 = self._last_eval_ns, now
         self._last_eval_ns = now
@@ -248,86 +431,38 @@ class UfsPmu:
         (active, stalled, llc_rate, noc_score, max_stall,
          turbo_active) = self._observe(t0, t1)
 
-        if not self.ufs_enabled:
-            # Fixed-frequency countermeasure: nothing to decide.
-            self._record(now, active, stalled, llc_rate, noc_score,
-                         False, self.current_mhz, False)
-            return
-
-        # A core that ran in a turbo P-state during the window disables
-        # dynamic scaling: the uncore "consistently stays at the
-        # maximum frequency" (Section 2.2.1) — a snap, not a ramp.
-        if turbo_active:
-            self.turbo_pins += 1
-            self.timeline.set_frequency(now, self.max_limit_mhz)
-            self._slow_step_countdown = 0
-            self._record(now, active, stalled, llc_rate, noc_score,
-                         False, self.max_limit_mhz, True)
-            return
-
-        stall_rule = (
-            active > 0
-            and stalled > self.config.stalled_fraction_trigger * active
-        )
-        if stall_rule:
-            target: int | None = self.max_limit_mhz
-        else:
-            target = self.demand_model.target(llc_rate, noc_score)
-            if target is not None:
-                target = self._clamp(target)
-
-        # Cross-socket coupling: trail the fastest other socket by one
-        # step (Figure 7).  The coupled target never exceeds the limits.
-        coupled_binding = False
+        remote = None
         if self.remote_frequency is not None:
-            coupled = self._clamp(
-                self.remote_frequency() - self.coupling_lag_mhz
-            )
-            if target is None or coupled > target:
-                if coupled > self.config.active_idle_high_mhz:
-                    target = coupled
-                    coupled_binding = True
-
-        if target is None:
-            target = self._idle_target()
-            heavy = False
-            # Decrease hysteresis: hold while stall residue lingers in
-            # the window (a stalling phase just began mid-period).
-            if (
-                target < self.current_mhz
-                and max_stall > self.config.decrease_veto_stall_ratio
-            ):
-                self.decrease_vetoes += 1
-                target = self.current_mhz
-        else:
-            # Fast stepping only when heading for the ceiling (heavy
-            # traffic or stalled cores), or when mirroring a remote
-            # socket that is itself stepping (Section 4.3.1, Figure 7).
-            heavy = (
-                stall_rule
-                or target >= self.max_limit_mhz
-                or coupled_binding
-            )
-
-        self._step_toward(now, target, heavy)
+            remote = np.array([self.remote_frequency()], dtype=np.int64)
+        result = ufs_control_step(
+            freq_mhz=np.array([self.current_mhz], dtype=np.int64),
+            dither_phase=np.array([self._dither_phase], dtype=np.int64),
+            slow_countdown=np.array(
+                [self._slow_step_countdown], dtype=np.int64
+            ),
+            min_limit_mhz=np.array([self.min_limit_mhz], dtype=np.int64),
+            max_limit_mhz=np.array([self.max_limit_mhz], dtype=np.int64),
+            active=np.array([active], dtype=np.int64),
+            stalled=np.array([stalled], dtype=np.int64),
+            llc_rate=np.array([llc_rate], dtype=np.float64),
+            noc_score=np.array([noc_score], dtype=np.float64),
+            max_stall=np.array([max_stall], dtype=np.float64),
+            turbo=np.array([turbo_active], dtype=bool),
+            remote_mhz=remote,
+            ufs=self.config,
+            demand=self.demand_model.config,
+            coupling_lag_mhz=self.coupling_lag_mhz,
+        )
+        self._dither_phase = int(result.dither_phase[0])
+        self._slow_step_countdown = int(result.slow_countdown[0])
+        if result.turbo_pin[0]:
+            self.turbo_pins += 1
+        if result.veto[0]:
+            self.decrease_vetoes += 1
+        self.timeline.set_frequency(now, int(result.freq_mhz[0]))
         self._record(now, active, stalled, llc_rate, noc_score,
-                     stall_rule, target, heavy)
-
-    def _step_toward(self, now: int, target: int, heavy: bool) -> None:
-        current = self.current_mhz
-        step = self.config.step_mhz
-        if target > current:
-            if not heavy:
-                if self._slow_step_countdown > 0:
-                    self._slow_step_countdown -= 1
-                    return
-                self._slow_step_countdown = self.config.slow_step_periods - 1
-            self.timeline.set_frequency(now, min(current + step, target))
-        elif target < current:
-            self._slow_step_countdown = 0
-            self.timeline.set_frequency(now, max(current - step, target))
-        else:
-            self._slow_step_countdown = 0
+                     bool(result.stall_rule[0]),
+                     int(result.target_mhz[0]), bool(result.heavy[0]))
 
     def _record(self, now: int, active: int, stalled: int, llc: float,
                 noc: float, stall_rule: bool, target: int,

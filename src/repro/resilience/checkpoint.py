@@ -44,15 +44,20 @@ def _count(name: str, amount: int | float = 1) -> None:
 
 def checkpoint_key(experiment: str, *, platform=None,
                    params: dict | None = None,
-                   seed: int | None = None) -> str:
-    """The trace store's content-address recipe, reused verbatim."""
+                   seed: int | None = None,
+                   backend: str | None = None) -> str:
+    """The trace store's content-address recipe, reused verbatim.
+
+    ``backend`` keeps checkpoints written by different simulators
+    apart; ``None``/``"des"`` preserve every pre-backend key.
+    """
     # Imported lazily: the trace store imports the resilience package
     # (for its circuit breaker), so a module-level import here would
     # be a cycle.
     from ..trace.store import TraceStore
 
     return TraceStore.key(experiment, platform=platform, params=params,
-                          seed=seed)
+                          seed=seed, backend=backend)
 
 
 class Checkpoint:
@@ -75,10 +80,11 @@ class Checkpoint:
     @classmethod
     def for_experiment(cls, directory, experiment: str, *, platform=None,
                        params: dict | None = None, seed: int | None = None,
-                       every: int = 1) -> "Checkpoint":
+                       every: int = 1,
+                       backend: str | None = None) -> "Checkpoint":
         """The canonical path: ``<dir>/<experiment>-<key>.ckpt.json``."""
         key = checkpoint_key(experiment, platform=platform, params=params,
-                             seed=seed)
+                             seed=seed, backend=backend)
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         return cls(directory / f"{experiment}-{key}.ckpt.json", key=key,

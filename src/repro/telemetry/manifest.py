@@ -24,15 +24,27 @@ __all__ = [
 ]
 
 
-def config_digest(config) -> str | None:
+def config_digest(config, *, backend: str | None = None) -> str | None:
     """A short stable digest of a (frozen, repr-stable) configuration.
 
     Frozen dataclasses repr deterministically, so two runs share a
     digest exactly when they share a platform configuration.
+
+    ``backend`` folds the simulation backend into the digest so results
+    produced by different simulators never share a content address (an
+    ``"analytical"`` estimate must not be resumed as a DES
+    measurement).  ``None`` and ``"des"`` are the *same* identity — the
+    reference simulator — so a digest computed without the keyword is
+    byte-for-byte what it always was and pre-backend checkpoints and
+    trace corpora stay valid.
     """
-    if config is None:
-        return None
-    return hashlib.sha256(repr(config).encode()).hexdigest()[:16]
+    if backend in (None, "des"):
+        if config is None:
+            return None
+        material = repr(config)
+    else:
+        material = f"{backend}:{repr(config) if config is not None else ''}"
+    return hashlib.sha256(material.encode()).hexdigest()[:16]
 
 
 def registry_digest(registry: MetricsRegistry) -> str:
@@ -63,6 +75,10 @@ class RunManifest:
     simulated_ns: int
     metrics: dict
     results: object = None
+    #: Which simulator produced the results (``"des"``, ``"batch"``,
+    #: ``"analytical"``); ``None`` on records written before backends
+    #: existed.
+    backend: str | None = None
 
 
 def build_manifest(
@@ -74,6 +90,7 @@ def build_manifest(
     platform=None,
     wall_time_s: float = 0.0,
     results=None,
+    backend: str | None = None,
 ) -> RunManifest:
     """Assemble a manifest from a finished run's registry.
 
@@ -94,4 +111,5 @@ def build_manifest(
         simulated_ns=simulated_ns,
         metrics=snapshot,
         results=results,
+        backend=backend,
     )

@@ -127,7 +127,7 @@ class TraceStore:
 
     @staticmethod
     def key(experiment: str, *, platform=None, params: dict | None = None,
-            seed: int | None = None) -> str:
+            seed: int | None = None, backend: str | None = None) -> str:
         """Digest ``(platform, experiment, params, seed)`` into a key.
 
         ``platform`` should be the *effective* configuration (resolve
@@ -136,11 +136,16 @@ class TraceStore:
         canonicalised through sorted-key JSON; anything unserialisable
         falls back to ``repr``, which is stable for the frozen configs
         used throughout this codebase.
+
+        ``backend`` salts the platform digest (see
+        :func:`~repro.telemetry.manifest.config_digest`) so corpora and
+        checkpoints written by different simulators never collide;
+        ``None``/``"des"`` keep the legacy key byte-identical.
         """
         material = json.dumps(
             {
                 "experiment": experiment,
-                "platform": config_digest(platform),
+                "platform": config_digest(platform, backend=backend),
                 "params": params or {},
                 "seed": seed,
             },

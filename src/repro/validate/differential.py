@@ -8,6 +8,15 @@ small workload and deep-compares the outputs with
 :func:`equal_results`, which refuses to call two floats equal unless
 they are the same float.
 
+The same machinery validates the simulation backends: the ``batch``
+backend promises results *bit-identical* to the DES (checked here over
+the capacity sweep, the defense matrix and platforms drawn from the
+validation fuzzer's scenario grid), and the ``analytical`` backend
+promises agreement within its documented statistical tolerance
+(:func:`repro.fastpath.analytical.error_tolerance`).  A frequency-grid
+oracle additionally proves every batch-computed frequency lands on the
+platform's UFS operating points.
+
 The checks double as building blocks: ``repro validate --differential``
 runs :func:`run_differential_suite`, and the differential test module
 drives the individual checks with larger fixtures.
@@ -23,7 +32,12 @@ import numpy as np
 
 __all__ = [
     "DifferentialReport",
+    "check_batch_frequency_grid",
     "check_cold_vs_warm_store",
+    "check_des_vs_analytical_capacity",
+    "check_des_vs_batch_capacity",
+    "check_des_vs_batch_defenses",
+    "check_des_vs_batch_fuzz_platforms",
     "check_live_vs_replay",
     "check_serial_vs_parallel_capacity",
     "check_serial_vs_parallel_defenses",
@@ -206,12 +220,223 @@ def check_live_vs_replay(workdir, seed: int = 0, *,
     )
 
 
-def run_differential_suite(workdir, seed: int = 0
+def check_des_vs_batch_capacity(
+    seed: int = 0, *,
+    intervals_ms: tuple[float, ...] = (21.0, 15.0),
+    bits: int = 6,
+) -> DifferentialReport:
+    """``capacity_sweep`` on the DES vs the vectorized batch backend.
+
+    The batch backend's contract is bit-identity, so this check uses
+    the same exact comparator as the serial-vs-parallel pairs.
+    """
+    from ..core.evaluation import capacity_sweep
+
+    des = capacity_sweep(
+        intervals_ms=intervals_ms, bits=bits, seed=seed, backend="des"
+    )
+    batch = capacity_sweep(
+        intervals_ms=intervals_ms, bits=bits, seed=seed, backend="batch"
+    )
+    return _report(
+        "des-vs-batch:capacity", des, batch,
+        f"{len(intervals_ms)} sweep points, {bits} bits",
+    )
+
+
+def check_des_vs_batch_defenses(
+    seed: int = 0, *,
+    defenses: tuple[str, ...] = ("none", "fixed_max", "randomized"),
+    bits: int = 6,
+) -> DifferentialReport:
+    """``evaluate_defenses`` on the DES vs the batch backend."""
+    from ..defenses.evaluation import evaluate_defenses
+
+    des = evaluate_defenses(
+        defenses=defenses, bits=bits, seed=seed, backend="des"
+    )
+    batch = evaluate_defenses(
+        defenses=defenses, bits=bits, seed=seed, backend="batch"
+    )
+    return _report(
+        "des-vs-batch:defenses", des, batch,
+        f"defenses {defenses}, {bits} bits",
+    )
+
+
+def check_des_vs_batch_fuzz_platforms(
+    seed: int = 0, *, count: int = 3, bits: int = 5,
+    interval_ms: float = 21.0,
+) -> DifferentialReport:
+    """DES vs batch over platforms from the fuzzer's scenario grid.
+
+    The fixed Table 1 platform exercises one corner of the control
+    law; the validation fuzzer draws socket counts, UFS limits, step
+    sizes, PMU periods and coupling flags, so running the same capacity
+    measurement through both backends on fuzzed platforms checks the
+    batch lattice against configurations nobody hand-picked.
+    """
+    from ..core.evaluation import measure_capacity
+    from ..telemetry.context import using
+    from .scenarios import build_platform, generate_scenarios
+
+    pairs = []
+    # Mask any ambient registry, as the fuzz runner does: fuzzed
+    # platforms have heterogeneous ``ufs.freq_mhz`` bucket layouts
+    # that cannot merge into one caller registry.
+    with using(None):
+        for scenario in generate_scenarios(seed, count):
+            platform = build_platform(scenario)
+            kwargs = dict(
+                interval_ms=interval_ms, bits=bits, seed=seed,
+                platform=platform,
+            )
+            pairs.append((
+                measure_capacity(**kwargs, backend="des"),
+                measure_capacity(**kwargs, backend="batch"),
+            ))
+    return _report(
+        "des-vs-batch:fuzz-platforms",
+        [a for a, _ in pairs], [b for _, b in pairs],
+        f"{count} fuzzed platforms, {bits} bits",
+    )
+
+
+def check_batch_frequency_grid(
+    seed: int = 0, *, bits: int = 5,
+) -> DifferentialReport:
+    """Oracle: every batch-computed frequency is a UFS operating point.
+
+    Mirrors the fuzzer's on-grid frequency oracle for the DES: the
+    batch lattice's per-socket histories must stay inside the effective
+    platform's limits, on its step grid, with non-decreasing times.
+    """
+    from ..config import default_platform_config
+    from ..fastpath.backend import CapacityRequest, DefenseRequest
+    from ..fastpath.batch import (
+        _capacity_plan,
+        _defense_plan,
+        batch_frequency_lattices,
+    )
+
+    requests = [
+        CapacityRequest(interval_ms=21.0, bits=bits, seed=seed),
+        CapacityRequest(
+            interval_ms=15.0, bits=bits, seed=seed, cross_processor=True,
+        ),
+        DefenseRequest("restricted_1500_1700", bits=bits, seed=seed),
+        DefenseRequest("randomized", bits=bits, seed=seed),
+    ]
+    # Re-planning is cheap; the plans expose each trial's *effective*
+    # platform (the restricted defense narrows the UFS window).
+    plans = [
+        _defense_plan(request) if isinstance(request, DefenseRequest)
+        else _capacity_plan(request)
+        for request in requests
+    ]
+    lattices = batch_frequency_lattices(requests)
+    default_points = set(
+        default_platform_config().ufs.frequency_points_mhz
+    )
+    violations: list[str] = []
+    for plan, lattice in zip(plans, lattices):
+        points = set(plan.platform.ufs.frequency_points_mhz)
+        for socket_id, history in enumerate(lattice):
+            last_time = None
+            for when, freq in history:
+                if freq not in points:
+                    violations.append(
+                        f"socket {socket_id}: {freq} MHz off the "
+                        f"{plan.platform.ufs.min_freq_mhz}.."
+                        f"{plan.platform.ufs.max_freq_mhz} grid"
+                    )
+                if last_time is not None and when < last_time:
+                    violations.append(
+                        f"socket {socket_id}: time went backwards "
+                        f"({last_time} -> {when})"
+                    )
+                last_time = when
+    # The restricted plan must actually be restricted, or the check
+    # above would vacuously pass against the full default grid.
+    restricted = set(plans[2].platform.ufs.frequency_points_mhz)
+    if not restricted < default_points:
+        violations.append("restricted plan kept the full grid")
+    return DifferentialReport(
+        name="oracle:batch-frequency-grid",
+        matched=not violations,
+        detail=(f"MISMATCH: {'; '.join(violations[:3])}" if violations
+                else f"{len(plans)} lattices on-grid and monotone"),
+    )
+
+
+def check_des_vs_analytical_capacity(
+    seed: int = 0, *, interval_ms: float = 12.0, bits: int = 30,
+) -> DifferentialReport:
+    """DES realised BER vs the analytical expectation, within tolerance.
+
+    The analytical backend is statistical, not bit-exact: the DES
+    error rate is one realisation of ``bits`` Bernoulli decodes whose
+    probabilities the estimator computes, so the acceptance band is
+    :func:`repro.fastpath.analytical.error_tolerance` around the
+    expectation (and the capacity re-derived from the band's edge).
+    """
+    from ..core.evaluation import measure_capacity
+    from ..fastpath.analytical import analytical_estimates
+    from ..fastpath.backend import CapacityRequest
+    from ..fastpath.batch import _capacity_plan
+
+    request = CapacityRequest(
+        interval_ms=interval_ms, bits=bits, seed=seed,
+    )
+    des = measure_capacity(
+        interval_ms=interval_ms, bits=bits, seed=seed, backend="des"
+    )
+    estimate = analytical_estimates([_capacity_plan(request)])[0]
+    delta = abs(des.error_rate - estimate.error_rate)
+    matched = delta <= estimate.error_tolerance
+    detail = (
+        f"|{des.error_rate:.4f} - {estimate.error_rate:.4f}| = "
+        f"{delta:.4f} vs tolerance {estimate.error_tolerance:.4f}"
+    )
+    return DifferentialReport(
+        name="des-vs-analytical:capacity",
+        matched=matched,
+        detail=detail if matched else f"MISMATCH: {detail}",
+    )
+
+
+def run_differential_suite(workdir, seed: int = 0, *,
+                           backend: str | None = None,
                            ) -> list[DifferentialReport]:
-    """The fast subset behind ``repro validate --differential``."""
-    return [
+    """The fast subset behind ``repro validate --differential``.
+
+    ``backend`` narrows the backend-equivalence checks: ``"des"`` runs
+    only the legacy execution-path pairs, ``"batch"`` adds the
+    bit-identity and grid-oracle checks, ``"analytical"`` adds the
+    statistical check, and ``None``/``"auto"`` (the default) runs
+    everything.
+    """
+    from ..errors import ConfigError
+    from ..fastpath.backend import BACKENDS
+
+    if backend is not None and backend not in BACKENDS:
+        raise ConfigError(
+            f"unknown backend {backend!r}: choose one of "
+            f"{', '.join(BACKENDS)}"
+        )
+    reports = [
         check_serial_vs_parallel_capacity(seed),
         check_serial_vs_parallel_defenses(seed),
         check_cold_vs_warm_store(workdir, seed),
         check_live_vs_replay(workdir, seed),
     ]
+    if backend in (None, "auto", "batch"):
+        reports += [
+            check_des_vs_batch_capacity(seed),
+            check_des_vs_batch_defenses(seed),
+            check_des_vs_batch_fuzz_platforms(seed),
+            check_batch_frequency_grid(seed),
+        ]
+    if backend in (None, "auto", "analytical"):
+        reports.append(check_des_vs_analytical_capacity(seed))
+    return reports

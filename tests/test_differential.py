@@ -3,9 +3,12 @@
 Extends the serial==parallel guarantee beyond ``capacity_sweep`` to
 ``evaluate_defenses``, ``comparison_matrix`` and ``collect_dataset``,
 and checks both trace-store pairs (cold vs warm cache, live vs pure
-replay).  Also unit-tests :func:`equal_results`, the comparator all of
-those checks rely on — if it ever went soft, the differential suite
-would pass vacuously.
+replay).  The backend checks hold the fastpath package to its
+contract: ``batch`` bit-identical to DES (including on fuzzer-drawn
+platforms, with every frequency on the UFS grid), ``analytical``
+within its documented statistical tolerance.  Also unit-tests
+:func:`equal_results`, the comparator all of those checks rely on — if
+it ever went soft, the differential suite would pass vacuously.
 """
 
 from dataclasses import dataclass
@@ -13,9 +16,15 @@ from dataclasses import dataclass
 import numpy as np
 import pytest
 
+from repro.errors import ConfigError
 from repro.validate import equal_results
 from repro.validate.differential import (
+    check_batch_frequency_grid,
     check_cold_vs_warm_store,
+    check_des_vs_analytical_capacity,
+    check_des_vs_batch_capacity,
+    check_des_vs_batch_defenses,
+    check_des_vs_batch_fuzz_platforms,
     check_live_vs_replay,
     check_serial_vs_parallel_capacity,
     check_serial_vs_parallel_defenses,
@@ -96,12 +105,53 @@ class TestTraceStorePaths:
         assert report.matched, report.detail
 
 
+class TestBackendEquivalence:
+    def test_des_vs_batch_capacity(self):
+        report = check_des_vs_batch_capacity(seed=4)
+        assert report.matched, report.detail
+
+    def test_des_vs_batch_defenses_full_matrix(self):
+        from repro.defenses.evaluation import DEFENSE_KEYS
+
+        report = check_des_vs_batch_defenses(
+            seed=2, defenses=DEFENSE_KEYS, bits=5
+        )
+        assert report.matched, report.detail
+
+    def test_des_vs_batch_fuzz_platforms(self):
+        report = check_des_vs_batch_fuzz_platforms(seed=6, count=2)
+        assert report.matched, report.detail
+
+    def test_batch_frequencies_stay_on_grid(self):
+        report = check_batch_frequency_grid(seed=1)
+        assert report.matched, report.detail
+
+    def test_des_vs_analytical_within_tolerance(self):
+        report = check_des_vs_analytical_capacity(seed=3)
+        assert report.matched, report.detail
+
+
 class TestSuite:
     def test_suite_is_all_green(self, tmp_path):
         reports = run_differential_suite(tmp_path, seed=0)
-        assert len(reports) == 4
+        assert len(reports) == 9
         bad = [r for r in reports if not r.matched]
         assert not bad, bad
+
+    def test_backend_narrows_the_suite(self, tmp_path):
+        names = [
+            r.name
+            for r in run_differential_suite(
+                tmp_path, seed=0, backend="analytical"
+            )
+        ]
+        assert "des-vs-analytical:capacity" in names
+        assert not any(n.startswith("des-vs-batch") for n in names)
+        assert len(names) == 5
+
+    def test_suite_rejects_unknown_backend(self, tmp_path):
+        with pytest.raises(ConfigError):
+            run_differential_suite(tmp_path, backend="bogus")
 
     def test_mismatch_is_labelled(self):
         from repro.validate.differential import _report

@@ -1,0 +1,275 @@
+"""Unit tests for the fastpath package: backend selection, the
+request records, digest salting, ``run_batches`` and the vectorized
+backends' equivalence contracts (small shapes — the exhaustive grids
+live in the differential suite, ``tests/test_differential.py``).
+"""
+
+import pytest
+
+from repro.core.context import ExperimentContext
+from repro.core.evaluation import capacity_sweep, measure_capacity
+from repro.engine.parallel import run_batches
+from repro.errors import ConfigError
+from repro.fastpath.backend import (
+    BACKEND_ENV_VAR,
+    BACKENDS,
+    BATCHABLE_EXPERIMENTS,
+    CapacityRequest,
+    SimBackend,
+    get_backend,
+    resolve_backend,
+)
+from repro.resilience.checkpoint import Checkpoint, checkpoint_key
+from repro.telemetry import MetricsRegistry, using
+from repro.telemetry.manifest import config_digest
+from repro.trace.store import TraceStore
+from repro.validate import equal_results
+
+
+class TestResolveBackend:
+    def test_default_is_des(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend(None) == "des"
+
+    def test_env_var_fallback(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "batch")
+        assert resolve_backend(None) == "batch"
+
+    def test_blank_env_var_counts_as_unset(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "  ")
+        assert resolve_backend(None) == "des"
+
+    def test_explicit_backend_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "batch")
+        assert resolve_backend("analytical") == "analytical"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError, match="unknown backend"):
+            resolve_backend("bogus")
+
+    def test_bad_env_var_rejected(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "bogus")
+        with pytest.raises(ConfigError, match="REPRO_BACKEND"):
+            resolve_backend(None)
+
+    def test_auto_takes_batch_for_batchable_experiments(self):
+        for experiment in BATCHABLE_EXPERIMENTS:
+            assert resolve_backend("auto", experiment=experiment) == "batch"
+
+    def test_auto_falls_back_to_des_elsewhere(self):
+        assert resolve_backend("auto") == "des"
+        assert resolve_backend("auto",
+                               experiment="comparison_matrix") == "des"
+
+    def test_auto_never_survives_resolution(self):
+        for name in BACKENDS:
+            assert resolve_backend(name, experiment="capacity_sweep") != \
+                "auto"
+
+
+class TestGetBackend:
+    def test_instances_carry_their_names(self):
+        for name in ("des", "batch", "analytical"):
+            backend = get_backend(name)
+            assert backend.name == name
+            assert isinstance(backend, SimBackend)
+
+    def test_auto_resolves_before_instantiation(self):
+        assert get_backend("auto").name == "des"
+        assert get_backend("auto",
+                           experiment="capacity_sweep").name == "batch"
+
+
+class TestDigestSalting:
+    def test_des_backend_preserves_legacy_digests(self):
+        from repro.config import default_platform_config
+
+        platform = default_platform_config()
+        legacy = config_digest(platform)
+        assert config_digest(platform, backend="des") == legacy
+        assert config_digest(platform, backend=None) == legacy
+
+    def test_vectorized_backends_get_distinct_digests(self):
+        from repro.config import default_platform_config
+
+        platform = default_platform_config()
+        digests = {
+            config_digest(platform),
+            config_digest(platform, backend="batch"),
+            config_digest(platform, backend="analytical"),
+        }
+        assert len(digests) == 3
+
+    def test_none_config_salts_under_vectorized_backends(self):
+        # Legacy: no config, no digest.  Salted: the backend itself is
+        # identity-bearing, so even a None config must produce a key.
+        assert config_digest(None) is None
+        assert config_digest(None, backend="batch") is not None
+
+    def test_store_and_checkpoint_keys_diverge_per_backend(self):
+        params = {"intervals_ms": (21.0,), "bits": 5}
+        des = TraceStore.key("capacity_sweep", params=params, seed=0)
+        legacy = TraceStore.key("capacity_sweep", params=params, seed=0,
+                                backend="des")
+        batch = TraceStore.key("capacity_sweep", params=params, seed=0,
+                               backend="batch")
+        assert des == legacy
+        assert batch != des
+        assert checkpoint_key("capacity_sweep", params=params, seed=0,
+                              backend="batch") == batch
+
+
+class TestContextBackend:
+    def test_backend_is_validated(self):
+        with pytest.raises(ConfigError, match="unknown backend"):
+            ExperimentContext(backend="bogus").validate()
+
+    def test_every_spelling_accepted(self):
+        for name in BACKENDS:
+            ExperimentContext(backend=name).validate()
+
+    def test_coalesce_rejects_context_plus_backend(self):
+        ctx = ExperimentContext(seed=1)
+        with pytest.raises(ConfigError, match="not both"):
+            ExperimentContext.coalesce(ctx, backend="batch")
+
+    def test_coalesce_builds_the_quartet(self):
+        ctx = ExperimentContext.coalesce(None, seed=3, workers=2,
+                                         backend="batch")
+        assert (ctx.seed, ctx.workers, ctx.backend) == (3, 2, "batch")
+
+
+def _double(requests):
+    """Module-level batch runner so pooled chunks can pickle it."""
+    return [r * 2 for r in requests]
+
+
+class TestRunBatches:
+    def test_results_keep_request_order(self):
+        assert run_batches([3, 1, 2], _double) == [6, 2, 4]
+
+    def test_partition_invariance(self):
+        requests = list(range(11))
+        serial = run_batches(requests, _double, workers=1)
+        for workers in (2, 3, 4):
+            assert run_batches(requests, _double,
+                               workers=workers) == serial
+
+    def test_checkpoint_requires_labels(self, tmp_path):
+        ckpt = Checkpoint(tmp_path / "x.ckpt.json", key="k")
+        with pytest.raises(ConfigError, match="label"):
+            run_batches([1], _double, checkpoint=ckpt)
+        with pytest.raises(ConfigError, match="2 labels"):
+            run_batches([1], _double, labels=["a", "b"],
+                        checkpoint=ckpt)
+        with pytest.raises(ConfigError, match="unique"):
+            run_batches([1, 2], _double, labels=["a", "a"],
+                        checkpoint=ckpt)
+
+    def test_checkpoint_resume_skips_completed(self, tmp_path):
+        ckpt = Checkpoint(tmp_path / "x.ckpt.json", key="k")
+        ckpt.record("b", 999)  # a previously-completed (stale) result
+        registry = MetricsRegistry()
+        with using(registry):
+            results = run_batches([1, 2, 3], _double,
+                                  labels=["a", "b", "c"],
+                                  checkpoint=ckpt)
+        assert results == [2, 999, 6]
+        counters = registry.snapshot()["counters"]
+        assert counters["runner.checkpoint.skipped"] == 1
+        # The two fresh results were recorded, so a rerun is all-skip.
+        rerun = Checkpoint(tmp_path / "x.ckpt.json", key="k")
+        with using(MetricsRegistry()):
+            assert run_batches([1, 2, 3], _double,
+                               labels=["a", "b", "c"],
+                               checkpoint=rerun) == [2, 999, 6]
+
+
+class TestBatchBackend:
+    def test_capacity_point_bit_identical_to_des(self):
+        des = measure_capacity(interval_ms=21.0, bits=6, seed=5,
+                               backend="des")
+        batch = measure_capacity(interval_ms=21.0, bits=6, seed=5,
+                                 backend="batch")
+        assert equal_results(des, batch)
+
+    def test_defense_report_bit_identical_to_des(self):
+        from repro.defenses.evaluation import channel_under_defense
+
+        des = channel_under_defense("randomized", bits=5, seed=2,
+                                    backend="des")
+        batch = channel_under_defense("randomized", bits=5, seed=2,
+                                      backend="batch")
+        assert equal_results(des, batch)
+
+    def test_sweep_workers_compose_with_backend(self):
+        serial = capacity_sweep(intervals_ms=(21.0, 15.0), bits=5,
+                                seed=1, backend="batch")
+        pooled = capacity_sweep(intervals_ms=(21.0, 15.0), bits=5,
+                                seed=1, backend="batch", workers=2)
+        assert equal_results(serial, pooled)
+
+    def test_trial_counter(self):
+        registry = MetricsRegistry()
+        with using(registry):
+            measure_capacity(interval_ms=21.0, bits=5, backend="batch")
+        counters = registry.snapshot()["counters"]
+        assert counters["fastpath.batch.trials"] == 1
+
+    def test_env_var_reaches_the_runner(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "batch")
+        registry = MetricsRegistry()
+        with using(registry):
+            measure_capacity(interval_ms=21.0, bits=5)
+        counters = registry.snapshot()["counters"]
+        assert counters["fastpath.batch.trials"] == 1
+
+    def test_explicit_des_is_immune_to_the_env_var(self, monkeypatch):
+        # A DES sweep pins backend="des" on its fan-out trials, so a
+        # REPRO_BACKEND set mid-flight cannot flip them after the
+        # sweep already resolved.
+        monkeypatch.setenv(BACKEND_ENV_VAR, "batch")
+        registry = MetricsRegistry()
+        with using(registry):
+            capacity_sweep(intervals_ms=(21.0,), bits=5, backend="des")
+        counters = registry.snapshot()["counters"]
+        assert "fastpath.batch.trials" not in counters
+
+
+class TestAnalyticalBackend:
+    def test_estimates_are_sane(self):
+        from repro.fastpath.analytical import analytical_capacity_points
+
+        point = analytical_capacity_points(
+            [CapacityRequest(interval_ms=12.0, bits=30, seed=0)]
+        )[0]
+        assert 0.0 <= point.error_rate <= 1.0
+        assert point.capacity_bps >= 0.0
+
+    def test_tolerance_is_positive(self):
+        from repro.fastpath.analytical import error_tolerance
+
+        assert error_tolerance([0.1, 0.2, 0.3]) > 0.0
+
+    def test_eval_counter(self):
+        registry = MetricsRegistry()
+        with using(registry):
+            measure_capacity(interval_ms=12.0, bits=10,
+                             backend="analytical")
+        counters = registry.snapshot()["counters"]
+        assert counters["fastpath.analytical.evals"] == 1
+
+
+class TestComparisonMatrixGuard:
+    def test_explicit_vectorized_backend_rejected(self):
+        from repro.channels.comparison import comparison_matrix
+
+        with pytest.raises(ConfigError, match="only the DES backend"):
+            comparison_matrix(bits=4, backend="batch")
+
+    def test_unknown_defense_is_a_clean_error(self):
+        from repro.defenses.evaluation import channel_under_defense
+
+        with pytest.raises(Exception):
+            channel_under_defense("not-a-defense", bits=4,
+                                  backend="batch")

@@ -53,9 +53,10 @@ class TestRunTrials:
         trials = [Trial(lambda: "inline")]
         assert run_trials(trials, workers=4) == ["inline"]
 
-    def test_map_trials_shorthand(self):
-        results = map_trials(_square, [dict(value=2), dict(value=5)],
-                             workers=1)
+    def test_map_trials_shorthand_deprecated(self):
+        with pytest.warns(DeprecationWarning, match="map_trials"):
+            results = map_trials(_square, [dict(value=2), dict(value=5)],
+                                 workers=1)
         assert results == [4, 25]
 
     def test_negative_workers_rejected(self):
