@@ -38,7 +38,11 @@ Layer map (bottom up):
   differential checks behind ``repro validate``;
 * :mod:`repro.resilience` — retry policies, checkpoint/resume, the
   trace-store circuit breaker, adaptive ARQ and the ``repro chaos``
-  fault matrix.
+  fault matrix;
+* :mod:`repro.service` — the experiment daemon (``repro serve``):
+  async HTTP/JSON job API, fair multi-tenant queue, work-stealing
+  worker pools, the sharded trace store and result cache, and the
+  sync/async clients.
 
 Import surface: this top-level package re-exports the working set —
 the system (:class:`System`, :class:`PlatformConfig`,
@@ -51,6 +55,7 @@ experiment API (:func:`capacity_sweep` → :class:`SweepResult`,
 layer module.
 """
 
+from ._version import __version__
 from .config import (
     PlatformConfig,
     default_platform_config,
@@ -84,8 +89,6 @@ from .errors import (
     TraceError,
     ValidationError,
 )
-
-__version__ = "1.0.0"
 
 __all__ = [
     "Actor",

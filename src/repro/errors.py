@@ -106,3 +106,26 @@ class ValidationError(ReproError):
     validate`` CLI) when an oracle reports a violation, after the
     failing scenario has been shrunk and written out as a repro file.
     """
+
+
+class ServiceError(ReproError):
+    """The experiment service refused or failed a request.
+
+    Raised by the daemon's request handlers (bad job specs, unknown
+    jobs) and by the clients when the server reports a failure.  The
+    service stays up after the error — one bad request never takes the
+    daemon down.
+    """
+
+
+class QueueFullError(ServiceError):
+    """The job queue refused a submission for backpressure.
+
+    The bounded multi-tenant queue rejects rather than buffers without
+    limit; the HTTP front-end maps this to ``429 Too Many Requests`` so
+    clients know to back off and retry.
+    """
+
+
+class JobNotFoundError(ServiceError):
+    """A job id names no job the service knows about."""

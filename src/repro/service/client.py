@@ -1,0 +1,329 @@
+"""Clients for the experiment daemon: sync and async, same surface.
+
+:class:`ServiceClient` wraps :mod:`http.client` for scripts, the CLI
+and tests — one keep-alive connection, transparently reopened if the
+daemon closed it.  :class:`AsyncServiceClient` speaks the same
+minimal HTTP/1.1 over ``asyncio.open_connection`` for callers that
+need thousands of requests in flight (the load bench); one client
+holds one connection and serialises its own requests, so a fleet of
+clients gives a fleet of connections.
+
+Both translate HTTP errors back into the library's exception
+vocabulary — ``429`` to :class:`~repro.errors.QueueFullError`,
+``404`` to :class:`~repro.errors.JobNotFoundError`, anything else
+non-2xx to :class:`~repro.errors.ServiceError` — so calling code
+handles a remote daemon exactly like the in-process scheduler.
+
+The convenience helpers close the determinism loop:
+:meth:`ServiceClient.capacity_sweep` submits, polls, decodes and
+returns a :class:`~repro.core.evaluation.SweepResult` that is
+bit-identical to calling :func:`repro.core.evaluation.capacity_sweep`
+directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import time
+
+from ..errors import JobNotFoundError, QueueFullError, ServiceError
+from .jobs import sweep_from_payload
+from .protocol import JobSpec, JobState, spec_to_wire
+
+__all__ = ["AsyncServiceClient", "ServiceClient"]
+
+#: Default pause between result polls (seconds).
+DEFAULT_POLL_S = 0.02
+
+
+def _raise_for(status: int, payload: dict) -> None:
+    message = payload.get("error", f"HTTP {status}")
+    if status == 429:
+        raise QueueFullError(message)
+    if status == 404:
+        raise JobNotFoundError(message)
+    if status >= 400:
+        raise ServiceError(f"HTTP {status}: {message}")
+
+
+def _terminal_or_raise(record: dict) -> dict:
+    """A DONE record, or the failure translated to an exception."""
+    state = record.get("state")
+    if state == JobState.FAILED:
+        raise ServiceError(
+            f"job {record.get('job_id')} failed: {record.get('error')}"
+        )
+    if state == JobState.CANCELLED:
+        raise ServiceError(f"job {record.get('job_id')} was cancelled")
+    return record
+
+
+class ServiceClient:
+    """Synchronous client over one keep-alive connection."""
+
+    def __init__(self, port: int, *, host: str = "127.0.0.1",
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- plumbing -----------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> ServiceClient:
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> dict:
+        body = json.dumps(payload).encode("utf-8") if payload is not None \
+            else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (1, 2):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # A stale keep-alive connection: reopen once, then give up.
+                self.close()
+                if attempt == 2:
+                    raise
+        data = json.loads(raw.decode("utf-8")) if raw else {}
+        _raise_for(response.status, data)
+        return data
+
+    # -- the API ------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def version(self) -> str:
+        return self._request("GET", "/v1/version")["version"]
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/v1/metrics")
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/v1/shutdown")
+
+    def submit(self, spec: JobSpec | dict) -> dict:
+        wire = spec_to_wire(spec) if isinstance(spec, JobSpec) else spec
+        return self._request("POST", "/v1/jobs", wire)
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str, *, wait: bool = True,
+               poll_s: float = DEFAULT_POLL_S,
+               timeout: float = 600.0) -> dict:
+        """The job's terminal record (with ``result``), polling if asked."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self._request("GET", f"/v1/jobs/{job_id}/result")
+            if record.get("state") in JobState.TERMINAL:
+                return _terminal_or_raise(record)
+            if not wait:
+                return record
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {record.get('state')} after "
+                    f"{timeout:.0f}s"
+                )
+            time.sleep(poll_s)
+
+    def run(self, spec: JobSpec | dict, *, timeout: float = 600.0) -> dict:
+        """Submit and wait; the served result payload."""
+        record = self.submit(spec)
+        if record.get("state") == JobState.DONE:  # cache hit: no poll
+            record = self._request(
+                "GET", f"/v1/jobs/{record['job_id']}/result"
+            )
+            return _terminal_or_raise(record)["result"]
+        return self.result(record["job_id"], timeout=timeout)["result"]
+
+    def capacity_sweep(self, *, intervals_ms=None, bits: int = 120,
+                       cross_processor: bool = False, seed: int = 0,
+                       backend: str | None = None,
+                       tenant: str = "default",
+                       timeout: float = 600.0):
+        """A served sweep, decoded — bit-identical to the direct call."""
+        params: dict = {"bits": bits, "cross_processor": cross_processor}
+        if intervals_ms is not None:
+            params["intervals_ms"] = list(intervals_ms)
+        payload = self.run(
+            JobSpec(experiment="capacity_sweep", params=params,
+                    seed=seed, backend=backend, tenant=tenant),
+            timeout=timeout,
+        )
+        return sweep_from_payload(payload)
+
+
+class AsyncServiceClient:
+    """Asynchronous client: one connection, requests serialised on it."""
+
+    def __init__(self, port: int, *, host: str = "127.0.0.1") -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._lock = asyncio.Lock()
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+            self._reader = None
+            self._writer = None
+
+    async def __aenter__(self) -> AsyncServiceClient:
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    async def _connect(self) -> None:
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+
+    async def _roundtrip(self, method: str, path: str,
+                         body: bytes | None) -> tuple[int, bytes]:
+        await self._connect()
+        assert self._reader is not None and self._writer is not None
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            + (f"Content-Type: application/json\r\n"
+               f"Content-Length: {len(body)}\r\n" if body else
+               "Content-Length: 0\r\n")
+            + "\r\n"
+        ).encode("ascii")
+        self._writer.write(head + (body or b""))
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("daemon closed the connection")
+        status = int(status_line.split(b" ", 2)[1])
+        length = 0
+        while True:
+            line = await self._reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            name, _sep, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        raw = await self._reader.readexactly(length) if length else b""
+        return status, raw
+
+    async def _request(self, method: str, path: str,
+                       payload: dict | None = None) -> dict:
+        body = json.dumps(payload).encode("utf-8") \
+            if payload is not None else None
+        async with self._lock:  # HTTP/1.1 without pipelining
+            for attempt in (1, 2):
+                try:
+                    status, raw = await self._roundtrip(method, path, body)
+                    break
+                except (ConnectionError, asyncio.IncompleteReadError,
+                        OSError):
+                    await self.close()
+                    if attempt == 2:
+                        raise
+        data = json.loads(raw.decode("utf-8")) if raw else {}
+        _raise_for(status, data)
+        return data
+
+    # -- the API (mirrors ServiceClient) ------------------------------
+
+    async def health(self) -> dict:
+        return await self._request("GET", "/v1/healthz")
+
+    async def version(self) -> str:
+        return (await self._request("GET", "/v1/version"))["version"]
+
+    async def metrics(self) -> dict:
+        return await self._request("GET", "/v1/metrics")
+
+    async def shutdown(self) -> dict:
+        return await self._request("POST", "/v1/shutdown")
+
+    async def submit(self, spec: JobSpec | dict) -> dict:
+        wire = spec_to_wire(spec) if isinstance(spec, JobSpec) else spec
+        return await self._request("POST", "/v1/jobs", wire)
+
+    async def status(self, job_id: str) -> dict:
+        return await self._request("GET", f"/v1/jobs/{job_id}")
+
+    async def cancel(self, job_id: str) -> dict:
+        return await self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    async def result(self, job_id: str, *, wait: bool = True,
+                     poll_s: float = DEFAULT_POLL_S,
+                     timeout: float = 600.0) -> dict:
+        deadline = asyncio.get_running_loop().time() + timeout
+        while True:
+            record = await self._request(
+                "GET", f"/v1/jobs/{job_id}/result"
+            )
+            if record.get("state") in JobState.TERMINAL:
+                return _terminal_or_raise(record)
+            if not wait:
+                return record
+            if asyncio.get_running_loop().time() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {record.get('state')} after "
+                    f"{timeout:.0f}s"
+                )
+            await asyncio.sleep(poll_s)
+
+    async def run(self, spec: JobSpec | dict, *,
+                  timeout: float = 600.0) -> dict:
+        record = await self.submit(spec)
+        if record.get("state") == JobState.DONE:
+            final = await self._request(
+                "GET", f"/v1/jobs/{record['job_id']}/result"
+            )
+            return _terminal_or_raise(final)["result"]
+        return (await self.result(record["job_id"],
+                                  timeout=timeout))["result"]
+
+    async def capacity_sweep(self, *, intervals_ms=None, bits: int = 120,
+                             cross_processor: bool = False, seed: int = 0,
+                             backend: str | None = None,
+                             tenant: str = "default",
+                             timeout: float = 600.0):
+        params: dict = {"bits": bits, "cross_processor": cross_processor}
+        if intervals_ms is not None:
+            params["intervals_ms"] = list(intervals_ms)
+        payload = await self.run(
+            JobSpec(experiment="capacity_sweep", params=params,
+                    seed=seed, backend=backend, tenant=tenant),
+            timeout=timeout,
+        )
+        return sweep_from_payload(payload)

@@ -1,0 +1,232 @@
+"""Job specs, job records and their JSON wire forms.
+
+A **job spec** is the unit of work a client submits: which experiment,
+with which parameters, under which seed and backend, on behalf of which
+tenant.  Specs are plain data — every field JSON-serialisable — so the
+same spec object describes the job on both sides of the socket and in
+the scheduler in between.
+
+A spec's :meth:`~JobSpec.key` is its content address, computed through
+the exact recipe the trace store and checkpoint layer use
+(:meth:`repro.trace.store.TraceStore.key`): a digest of (experiment,
+canonical params, seed, resolved backend).  Two submissions share a key
+exactly when a direct in-process run would produce bit-identical
+results, so a key hit in the service's result cache can be served
+without running anything — the serving-side analogue of the trace
+store's "a key hit means the simulation can be skipped outright".
+
+A **job record** is the server-side lifecycle of one submission: the
+spec plus id, state, result/error and bookkeeping.  Records serialise
+to the wire for ``status``/``result`` responses.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ServiceError
+
+__all__ = [
+    "JobSpec",
+    "JobRecord",
+    "JobState",
+    "record_to_wire",
+    "spec_from_wire",
+    "spec_to_wire",
+]
+
+
+class JobState:
+    """The job lifecycle, as wire-stable strings.
+
+    ``PENDING -> RUNNING -> DONE | FAILED``; ``CANCELLED`` is reachable
+    only from ``PENDING`` (a running simulation cannot be interrupted
+    mid-flight; cancel marks it unwanted and the scheduler drops the
+    result).
+    """
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    #: States from which no further transition happens.
+    TERMINAL = frozenset({DONE, FAILED, CANCELLED})
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One servable experiment request, as plain data.
+
+    ``params`` must be a JSON-serialisable dict understood by the
+    experiment's runner (see :data:`repro.service.jobs.EXPERIMENTS`);
+    ``backend`` is the usual ``des | batch | analytical | auto``
+    spelling (``None`` defers to the server's default resolution);
+    ``tenant`` and ``priority`` only affect queueing — never results.
+    """
+
+    experiment: str
+    params: dict = field(default_factory=dict)
+    seed: int = 0
+    backend: str | None = None
+    tenant: str = "default"
+    priority: int = 0
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.ServiceError` on a malformed spec."""
+        if not self.experiment or not isinstance(self.experiment, str):
+            raise ServiceError("job spec needs an experiment name")
+        if not isinstance(self.params, dict):
+            raise ServiceError(
+                f"params must be a JSON object, got {type(self.params).__name__}"
+            )
+        try:
+            json.dumps(self.params)
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(
+                f"params are not JSON-serialisable: {exc}"
+            ) from exc
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ServiceError(f"seed must be an integer, got {self.seed!r}")
+        if not isinstance(self.tenant, str) or not self.tenant:
+            raise ServiceError(f"tenant must be a non-empty string, "
+                               f"got {self.tenant!r}")
+        if not isinstance(self.priority, int) or isinstance(self.priority,
+                                                            bool):
+            raise ServiceError(
+                f"priority must be an integer, got {self.priority!r}"
+            )
+
+    def resolved_backend(self) -> str:
+        """The concrete backend this spec runs under.
+
+        Resolved once, at submission, so the job's content key is
+        stable however ``auto``/``$REPRO_BACKEND`` would drift later.
+        """
+        from ..fastpath.backend import resolve_backend
+
+        return resolve_backend(self.backend, experiment=self.experiment)
+
+    def key(self) -> str:
+        """The spec's content address — the trace store's key recipe.
+
+        Tenant and priority are deliberately excluded: they shape
+        scheduling, not results, so two tenants submitting the same
+        experiment share a cache line.
+        """
+        from ..trace.store import TraceStore
+
+        return TraceStore.key(
+            f"service/{self.experiment}",
+            params=self.params,
+            seed=self.seed,
+            backend=self.resolved_backend(),
+        )
+
+
+@dataclass
+class JobRecord:
+    """The server-side lifecycle of one submitted job."""
+
+    job_id: str
+    spec: JobSpec
+    state: str = JobState.PENDING
+    #: Monotonic submission sequence — the FIFO tiebreak within a
+    #: (tenant, priority) class and the deterministic queue order.
+    seq: int = 0
+    result: Any = None
+    error: str | None = None
+    attempts: int = 0
+    #: Whether the result was served from the result cache instead of
+    #: being computed.
+    cache_hit: bool = False
+    #: Which pool ran the job (``None`` for cache hits and unfinished
+    #: jobs) — makes work stealing observable in status payloads.
+    pool: str | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.state in JobState.TERMINAL
+
+
+def spec_to_wire(spec: JobSpec) -> dict:
+    """The JSON object a client submits."""
+    return {
+        "experiment": spec.experiment,
+        "params": spec.params,
+        "seed": spec.seed,
+        "backend": spec.backend,
+        "tenant": spec.tenant,
+        "priority": spec.priority,
+    }
+
+
+_WIRE_FIELDS = frozenset(
+    {"experiment", "params", "seed", "backend", "tenant", "priority"}
+)
+
+
+def spec_from_wire(payload: Any) -> JobSpec:
+    """Parse and validate a submitted JSON object into a spec.
+
+    Unknown fields are rejected rather than dropped: a typoed
+    ``priorty`` silently meaning "default priority" is the kind of bug
+    that only surfaces under load.
+    """
+    if not isinstance(payload, dict):
+        raise ServiceError(
+            f"job submission must be a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    unknown = sorted(set(payload) - _WIRE_FIELDS)
+    if unknown:
+        raise ServiceError(
+            f"unknown job fields {unknown}; accepted: "
+            f"{sorted(_WIRE_FIELDS)}"
+        )
+    if "experiment" not in payload:
+        raise ServiceError("job submission needs an 'experiment' field")
+    spec = JobSpec(
+        experiment=payload["experiment"],
+        params=payload.get("params") or {},
+        seed=payload.get("seed", 0),
+        backend=payload.get("backend"),
+        tenant=payload.get("tenant") or "default",
+        priority=payload.get("priority", 0),
+    )
+    spec.validate()
+    return spec
+
+
+def record_to_wire(record: JobRecord, *, with_result: bool = False) -> dict:
+    """The JSON object ``status``/``result`` responses carry."""
+    wire = {
+        "job_id": record.job_id,
+        "state": record.state,
+        "experiment": record.spec.experiment,
+        "tenant": record.spec.tenant,
+        "priority": record.spec.priority,
+        "seed": record.spec.seed,
+        "backend": record.spec.backend,
+        "key": record.spec.key(),
+        "attempts": record.attempts,
+        "cache_hit": record.cache_hit,
+        "pool": record.pool,
+        "error": record.error,
+    }
+    if with_result:
+        wire["result"] = record.result
+    return wire
+
+
+_JOB_SEQ = itertools.count(1)
+
+
+def next_job_id(seq: int | None = None) -> str:
+    """A monotonic, human-greppable job id (``job-000042``)."""
+    value = next(_JOB_SEQ) if seq is None else seq
+    return f"job-{value:06d}"

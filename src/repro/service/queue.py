@@ -1,0 +1,162 @@
+"""A bounded, multi-tenant, priority job queue with fair dequeue.
+
+The queue answers three scheduling questions deterministically:
+
+* **Who goes next?**  Tenants are served round-robin (resuming after
+  the last-served tenant, in sorted tenant order), so a tenant that
+  floods the queue with a thousand sweeps cannot starve a tenant with
+  one.  Within a tenant, higher ``priority`` first, then FIFO by
+  submission sequence — the classic priority-then-arrival order.
+* **When do we refuse?**  Two caps: ``max_depth`` bounds the whole
+  queue (protects daemon memory), ``max_per_tenant`` bounds any one
+  tenant's share (protects the *other* tenants).  Either cap breached
+  raises :class:`~repro.errors.QueueFullError`, which the HTTP layer
+  maps to ``429`` — backpressure is an answer, not an accident.
+* **What is observable?**  Submissions, dequeues, rejections and
+  cancellations all count into the explicit registry handed in
+  (``service.queue.*``), plus a depth gauge.
+
+The queue is a plain single-threaded data structure: the daemon's
+event loop is its only caller, so it needs no locks — and its dequeue
+order is a pure function of the submission order, which is what makes
+queue behaviour unit-testable without a running daemon.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..errors import ConfigError, JobNotFoundError, QueueFullError
+from ..telemetry.registry import MetricsRegistry
+from .protocol import JobRecord, JobState
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """Bounded multi-tenant priority queue over :class:`JobRecord`."""
+
+    def __init__(self, *, max_depth: int = 1024,
+                 max_per_tenant: int | None = None,
+                 registry: MetricsRegistry | None = None) -> None:
+        if max_depth < 1:
+            raise ConfigError(f"max_depth must be >= 1, got {max_depth}")
+        if max_per_tenant is not None and max_per_tenant < 1:
+            raise ConfigError(
+                f"max_per_tenant must be >= 1, got {max_per_tenant}"
+            )
+        self.max_depth = max_depth
+        self.max_per_tenant = max_per_tenant
+        self.registry = registry
+        # tenant -> pending records (kept sorted lazily at dequeue);
+        # OrderedDict preserves first-submission order of tenants so the
+        # round-robin ring is deterministic.
+        self._pending: OrderedDict[str, list[JobRecord]] = OrderedDict()
+        self._depth = 0
+        self._last_tenant: str | None = None
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.registry is not None:
+            self.registry.inc(f"service.queue.{name}", amount)
+
+    def _gauge_depth(self) -> None:
+        if self.registry is not None:
+            self.registry.gauge("service.queue.depth").set(self._depth)
+
+    def __len__(self) -> int:
+        return self._depth
+
+    def depth_for(self, tenant: str) -> int:
+        return len(self._pending.get(tenant, ()))
+
+    def tenants(self) -> list[str]:
+        """Tenants with pending work, in ring order."""
+        return [t for t, jobs in self._pending.items() if jobs]
+
+    # -- submit / cancel ----------------------------------------------
+
+    def submit(self, record: JobRecord) -> None:
+        """Enqueue a pending record, or raise ``QueueFullError``."""
+        tenant = record.spec.tenant
+        if self._depth >= self.max_depth:
+            self._count("rejected")
+            raise QueueFullError(
+                f"queue full ({self._depth}/{self.max_depth} jobs); "
+                f"retry after the backlog drains"
+            )
+        bucket = self._pending.setdefault(tenant, [])
+        if (self.max_per_tenant is not None
+                and len(bucket) >= self.max_per_tenant):
+            self._count("rejected")
+            raise QueueFullError(
+                f"tenant {tenant!r} at its queue cap "
+                f"({len(bucket)}/{self.max_per_tenant} jobs)"
+            )
+        bucket.append(record)
+        self._depth += 1
+        self._count("submitted")
+        self._gauge_depth()
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Remove a pending job and mark it cancelled."""
+        for bucket in self._pending.values():
+            for index, record in enumerate(bucket):
+                if record.job_id == job_id:
+                    del bucket[index]
+                    self._depth -= 1
+                    record.state = JobState.CANCELLED
+                    self._count("cancelled")
+                    self._gauge_depth()
+                    return record
+        raise JobNotFoundError(f"no pending job {job_id!r}")
+
+    # -- dequeue ------------------------------------------------------
+
+    def _next_tenant(self) -> str | None:
+        """The next tenant in the round-robin ring with pending work."""
+        ring = [t for t, jobs in self._pending.items() if jobs]
+        if not ring:
+            return None
+        if self._last_tenant is None or self._last_tenant not in ring:
+            # Resume deterministically: first tenant after the last
+            # served one in ring order, wrapping.
+            ordered = ring
+            if self._last_tenant is not None:
+                later = [t for t in ring if t > self._last_tenant]
+                ordered = later + [t for t in ring
+                                   if t <= self._last_tenant]
+            return ordered[0]
+        index = ring.index(self._last_tenant)
+        return ring[(index + 1) % len(ring)]
+
+    def pop(self) -> JobRecord | None:
+        """The next record to run, honouring fairness, or ``None``.
+
+        Within the chosen tenant: highest ``priority`` first, then
+        lowest submission ``seq`` — a stable total order, so the same
+        submissions always drain in the same order.
+        """
+        tenant = self._next_tenant()
+        if tenant is None:
+            return None
+        bucket = self._pending[tenant]
+        best = min(range(len(bucket)),
+                   key=lambda i: (-bucket[i].spec.priority,
+                                  bucket[i].seq))
+        record = bucket.pop(best)
+        if not bucket:
+            del self._pending[tenant]
+        self._depth -= 1
+        self._last_tenant = tenant
+        self._count("dequeued")
+        self._gauge_depth()
+        return record
+
+    def drain(self) -> list[JobRecord]:
+        """Pop everything (shutdown path), in fair order."""
+        records = []
+        while True:
+            record = self.pop()
+            if record is None:
+                return records
+            records.append(record)

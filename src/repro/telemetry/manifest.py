@@ -79,6 +79,10 @@ class RunManifest:
     #: ``"analytical"``); ``None`` on records written before backends
     #: existed.
     backend: str | None = None
+    #: The ``repro`` package version that produced this record
+    #: (single-sourced from :mod:`repro._version`); ``None`` on records
+    #: written before versions were stamped.
+    version: str | None = None
 
 
 def build_manifest(
@@ -98,6 +102,8 @@ def build_manifest(
     harvested at each ``System.stop()`` and summed across trials, it is
     the total simulated time the run consumed across all systems.
     """
+    from .._version import __version__
+
     snapshot = registry.snapshot()
     simulated_ns = int(
         snapshot["counters"].get("engine.simulated_ns", 0)
@@ -112,4 +118,5 @@ def build_manifest(
         metrics=snapshot,
         results=results,
         backend=backend,
+        version=__version__,
     )

@@ -52,6 +52,7 @@ telemetry.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 from dataclasses import dataclass
@@ -72,6 +73,24 @@ def _count(name: str, amount: int | float = 1) -> None:
     registry = active_registry()
     if registry is not None:
         registry.inc(f"trace.store.{name}", amount)
+
+
+_TEMP_SEQ = itertools.count()
+
+
+def _unique_temp(path: Path) -> Path:
+    """A collision-free temp name next to ``path``.
+
+    Temp names must be unique *per writer*, not per key: two processes
+    publishing the same key through a shared name can interleave their
+    writes into one file (a torn blob published as good data) and each
+    ``unlink`` the other's in-flight temp.  pid + per-process counter
+    makes every write its own file; the ``.tmp`` suffix keeps stranded
+    ones visible to cleanup sweeps.
+    """
+    return path.with_name(
+        f"{path.name}.{os.getpid()}-{next(_TEMP_SEQ)}.tmp"
+    )
 
 
 @dataclass(frozen=True)
@@ -186,22 +205,25 @@ class TraceStore:
 
     def _write_entry(self, entry: StoreEntry) -> None:
         path = self._entry_path(entry.key)
-        temp = path.with_suffix(".json.tmp")
-        temp.write_text(
-            json.dumps(
-                {
-                    "key": entry.key,
-                    "experiment": entry.experiment,
-                    "records": entry.records,
-                    "size_bytes": entry.size_bytes,
-                    "tick": entry.tick,
-                    "meta": entry.meta,
-                },
-                sort_keys=True,
-            ),
-            encoding="utf-8",
-        )
-        os.replace(temp, path)
+        temp = _unique_temp(path)
+        try:
+            temp.write_text(
+                json.dumps(
+                    {
+                        "key": entry.key,
+                        "experiment": entry.experiment,
+                        "records": entry.records,
+                        "size_bytes": entry.size_bytes,
+                        "tick": entry.tick,
+                        "meta": entry.meta,
+                    },
+                    sort_keys=True,
+                ),
+                encoding="utf-8",
+            )
+            os.replace(temp, path)
+        finally:
+            temp.unlink(missing_ok=True)
 
     def _next_tick(self) -> int:
         ticks = [entry.tick for entry in self.entries()]
@@ -234,11 +256,15 @@ class TraceStore:
             meta: dict | None = None) -> Path:
         """Atomically write a corpus under ``key`` and index it.
 
-        The corpus is streamed to a temp file in the blob directory
-        (same filesystem) and published with ``os.replace``, so readers
-        never observe a half-written blob — concurrent writers of the
-        same key are writing identical content by construction, and the
-        last rename wins harmlessly.
+        The corpus is streamed to a *writer-unique* temp file in the
+        blob directory (same filesystem) and published with
+        ``os.replace``, so readers never observe a half-written blob
+        and concurrent writers never share a temp file — same-key
+        writers are writing identical content by construction, each
+        publishes its own complete copy, and the last rename wins
+        harmlessly.  A successful publish also sweeps the legacy
+        ``<key>.uftc.tmp`` name a crashed older writer may have
+        stranded.
 
         While the corruption breaker is open the write is *dropped*
         (pass-through mode: the caller keeps its simulated data, the
@@ -249,7 +275,7 @@ class TraceStore:
         if not self.breaker.allow_write():
             _count("breaker_dropped_writes")
             return blob
-        temp = blob.with_suffix(".uftc.tmp")
+        temp = _unique_temp(blob)
         try:
             with TraceWriter(temp, meta=meta) as writer:
                 for record in records:
@@ -257,8 +283,11 @@ class TraceStore:
                 count = writer.count
             os.replace(temp, blob)
         finally:
-            if temp.exists():
-                temp.unlink()
+            temp.unlink(missing_ok=True)
+        # An interrupted put (from before temp names were per-writer)
+        # strands the deterministic name; fresh data is now published,
+        # so the half-written leftover can go.
+        blob.with_suffix(".uftc.tmp").unlink(missing_ok=True)
         size = blob.stat().st_size
         self._write_entry(StoreEntry(
             key=key,

@@ -176,6 +176,44 @@ class TestAmbientContext:
             deactivate()
         assert active_registry() is None
 
+    def test_activation_is_per_thread(self):
+        # Concurrent jobs (the service's worker pools) each activate a
+        # fresh registry; overlapping using() blocks in different
+        # threads must neither see each other nor clobber the restore.
+        import threading
+
+        start = threading.Barrier(2)
+        results = {}
+
+        def job(name: str) -> None:
+            registry = MetricsRegistry()
+            with using(registry):
+                start.wait(timeout=5)
+                registry.inc(f"job.{name}")
+                results[name] = active_registry() is registry
+            results[f"{name}.restored"] = active_registry() is None
+
+        threads = [threading.Thread(target=job, args=(name,))
+                   for name in ("a", "b")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert results == {"a": True, "a.restored": True,
+                           "b": True, "b.restored": True}
+        assert active_registry() is None
+
+    def test_new_thread_starts_with_no_registry(self):
+        import threading
+
+        seen = []
+        with using(MetricsRegistry()):
+            thread = threading.Thread(
+                target=lambda: seen.append(active_registry()))
+            thread.start()
+            thread.join(timeout=10)
+        assert seen == [None]
+
 
 class TestEngineCounters:
     def test_scheduling_and_cancellation_counted(self):
