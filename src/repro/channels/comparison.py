@@ -25,6 +25,8 @@ from ..errors import ChannelError, MemoryError_, PrerequisiteError
 from ..units import ms
 from ..workloads.stressor import launch_stressor_threads
 from .base import FUNCTIONAL_BER_THRESHOLD, BaselineChannel
+from .current_throttle import CurrentThrottleChannel
+from .duty_cycle import DutyCycleChannel
 from .flush_flush import FlushFlushChannel
 from .flush_reload import FlushReloadChannel
 from .icc_cores import IccCoresChannel
@@ -36,6 +38,7 @@ from .ring_contention import RingContentionChannel
 from ..platform.system import System
 from .scenarios import SCENARIOS, Scenario
 from .spp import SppChannel
+from .turbo_boost import TurboBoostChannel
 from .uncore_idle import UncoreIdleChannel
 
 
@@ -79,7 +82,9 @@ class UFVariationAdapter:
         self._channel.shutdown()
 
 
-#: The Table 3 rows, top to bottom.
+#: The Table 3 rows, top to bottom: the paper's eleven, then the three
+#: PAPERS.md sibling frequency/power channels built on the modulation
+#: layer (TurboCC, IChannels, clock modulation).
 ALL_CHANNELS: tuple[type, ...] = (
     FlushReloadChannel,
     FlushFlushChannel,
@@ -92,7 +97,16 @@ ALL_CHANNELS: tuple[type, ...] = (
     IccCoresChannel,
     UncoreIdleChannel,
     UFVariationAdapter,
+    TurboBoostChannel,
+    CurrentThrottleChannel,
+    DutyCycleChannel,
 )
+
+#: Row label -> implementing class, for name-keyed callers (the
+#: service registry, trace capture, CLI filters).
+CHANNELS_BY_NAME: dict[str, type] = {
+    channel_cls.name: channel_cls for channel_cls in ALL_CHANNELS
+}
 
 
 @dataclass(frozen=True)
@@ -209,11 +223,13 @@ def comparison_matrix(*, bits: int = 24, seed: int = 0,
             "a context platform override is not meaningful"
         )
     resolved = resolve_backend(ctx.backend, experiment="comparison_matrix")
+    supported = ("des", "auto")
     if resolved != "des":
         raise ConfigError(
-            f"comparison_matrix supports only the DES backend, got "
-            f"{resolved!r}: the vectorized backends model only the "
-            "UF-variation experiments — use backend='des' or 'auto'"
+            f"comparison_matrix cannot run on backend {resolved!r} "
+            f"(requested {ctx.backend!r}): the vectorized backends "
+            "model only the UF-variation experiments, not the full "
+            f"channel matrix — supported backends: {list(supported)}"
         )
     trials = [
         Trial(evaluate_channel, dict(channel_cls=channel_cls,
@@ -281,5 +297,32 @@ PAPER_TABLE3: dict[str, dict[str, bool]] = {
         "no_shared_mem": True, "no_clflush": True, "no_tsx": True,
         "random_llc": True, "fine_partition": True,
         "coarse_partition": True, "stress4": True,
+    },
+}
+
+#: Expected behaviour of the three modulation-layer channels — rows the
+#: repo *adds* to Table 3, kept separate from :data:`PAPER_TABLE3` so
+#: the paper's own ground truth stays untouched.  All three live in the
+#: per-package core clock domain: no cache/memory prerequisites, immune
+#: to LLC randomization and uncore partitioning, broken only by coarse
+#: (per-socket) partitioning.  TurboCC survives stress4 because the bin
+#: table still has a boundary above four extra active cores; IChannels
+#: and clock modulation survive because stress-ng's cache loops draw no
+#: regulator-scale current and never touch the duty MSR.
+EXTENDED_TABLE3: dict[str, dict[str, bool]] = {
+    "TurboCC": {
+        "no_shared_mem": True, "no_clflush": True, "no_tsx": True,
+        "random_llc": True, "fine_partition": True,
+        "coarse_partition": False, "stress4": True,
+    },
+    "IChannels": {
+        "no_shared_mem": True, "no_clflush": True, "no_tsx": True,
+        "random_llc": True, "fine_partition": True,
+        "coarse_partition": False, "stress4": True,
+    },
+    "ClockModCovert": {
+        "no_shared_mem": True, "no_clflush": True, "no_tsx": True,
+        "random_llc": True, "fine_partition": True,
+        "coarse_partition": False, "stress4": True,
     },
 }

@@ -1,0 +1,116 @@
+"""IChannels (Haj-Yahya et al., https://arxiv.org/pdf/2106.05050).
+
+All cores of a package share one voltage regulator, and the power
+management unit answers current excursions with a *multi-level,
+hysteretic* throttle ladder: one level at a time, each held for a
+minimum dwell.  The sender raises and drops the package draw with a
+power-virus group; the receiver times a fixed loop whose throughput
+carries the ladder state.
+
+This is the stateful sibling of
+:class:`~repro.channels.icc_cores.IccCoresChannel`: where IccCores
+reads the *instantaneous* regulator pressure, IChannels drives the
+:class:`~repro.power.modulation.CurrentThrottleController` state
+machine, whose dwell times quantise the symbol clock — the paper's
+key observation that throttling hysteresis, not raw draw, sets the
+channel's rate and reliability.
+
+The shared resource is per-package, so LLC randomization and
+fine-grained uncore partitioning leave the channel intact; coarse
+(per-socket) partitioning separates the regulators and breaks it.
+"""
+
+from __future__ import annotations
+
+from ..cpu.activity import ActivityProfile
+from ..units import ms
+from .base import BaselineChannel, Prerequisites
+from .icc_cores import POWER_VIRUS_PROFILE
+
+#: Helper cores joining the sender's power-virus group.  Sender plus
+#: two helpers put 3.0 draw units on the regulator — at the hard
+#: threshold, so the ladder walks to the hard-throttle state.
+HELPER_CORES = 2
+
+#: Receiver reference-loop duration when unthrottled (ns).
+BASE_LOOP_NS = 2_000.0
+#: Relative timing noise of one loop.
+NOISE_SIGMA = 0.012
+#: Reference loops averaged per symbol.
+LOOPS_PER_BIT = 8
+#: Ladder walk time: two dwell periods (0 -> soft -> hard) of the
+#: default 500 us, plus slack for the 100 us evaluation grid.
+SETTLE_NS = ms(1.5)
+#: Unwind time back down the ladder after the virus stops.
+RECOVER_NS = ms(1.5)
+
+
+class CurrentThrottleChannel(BaselineChannel):
+    """Power-virus bursts vs. the hysteretic throttle ladder."""
+
+    name = "IChannels"
+    leakage_source = "Current throttling"
+
+    @classmethod
+    def prerequisites(cls) -> Prerequisites:
+        return Prerequisites()
+
+    @property
+    def bit_time_ns(self) -> int:
+        return ms(3)
+
+    def setup(self) -> None:
+        self._rng = self.system.namer.rng("ichannels-noise")
+        #: Per-loop measurements ``(time_ns, duration_ns)``.
+        self.observations: list[tuple[int, float]] = []
+        # The receiver's loop is throttled by its own package's ladder.
+        self._throttle = self.receiver.socket.modulation.current
+        free = [
+            core
+            for core in self.sender.socket.cores
+            if core.owner is None and core.core_id != self.receiver.core_id
+        ]
+        self._helpers = free[:HELPER_CORES]
+        for core in self._helpers:
+            core.claim(f"{self.name}-helper-{core.core_id}")
+        high = self._observe_state(1)
+        low = self._observe_state(0)
+        self._threshold = (low + high) / 2.0
+
+    def _set_virus(self, drawing: bool) -> None:
+        now = self.system.now
+        profile = POWER_VIRUS_PROFILE if drawing else ActivityProfile()
+        if drawing:
+            self.sender.set_profile(POWER_VIRUS_PROFILE)
+        else:
+            self.sender.go_idle()
+        for core in self._helpers:
+            core.set_profile(now, profile)
+
+    def _timed_reference_loop(self) -> float:
+        duration = BASE_LOOP_NS / self._throttle.factor * (
+            1.0 + float(self._rng.normal(0.0, NOISE_SIGMA))
+        )
+        self.system.engine.run_for(max(int(duration), 1))
+        self.observations.append((self.system.now, duration))
+        return duration
+
+    def _observe_state(self, bit: int) -> float:
+        self._set_virus(bool(bit))
+        self.system.run_for(SETTLE_NS)
+        loops = [self._timed_reference_loop()
+                 for _ in range(LOOPS_PER_BIT)]
+        self._set_virus(False)
+        self.system.run_for(RECOVER_NS)
+        return sum(loops) / len(loops)
+
+    def send_and_receive(self, bit: int) -> int:
+        mean = self._observe_state(bit)
+        return 1 if mean > self._threshold else 0
+
+    def shutdown(self) -> None:
+        now = self.system.now
+        for core in self._helpers:
+            core.set_profile(now, ActivityProfile())
+            core.release(now)
+        super().shutdown()

@@ -1,0 +1,90 @@
+"""Clock-modulation covert channel (https://arxiv.org/pdf/2404.05823).
+
+``IA32_CLOCK_MODULATION`` gates the core clock for a programmable
+``k/16`` fraction of a fixed window (T-states).  A sender with write
+access to the MSR — a privileged tenant, a misconfigured container
+runtime exposing ``/dev/cpu/*/msr``, or power-capping management
+software it can influence — modulates the package duty level; any
+unprivileged receiver on the same package reads it back by timing a
+fixed loop, since the gating slows *everyone's* retirement rate.
+
+The simulated sender drives
+:class:`~repro.power.modulation.DutyCycleModulator` directly, playing
+that privileged role.  Duty changes land only on window boundaries,
+which quantises the symbol clock to the window period — the defining
+timing signature of the clock-modulation channel family.
+
+Per-package again: only coarse (per-socket) partitioning separates
+the parties; caches and the uncore are not involved at all.
+"""
+
+from __future__ import annotations
+
+from ..units import ms
+from .base import BaselineChannel, Prerequisites
+
+#: Duty level encoding a 1 bit (of the default 16-step grid): half
+#: throughput, far outside loop-timing noise.
+DUTY_ONE = 8
+
+#: Receiver reference-loop duration at full duty (ns).
+BASE_LOOP_NS = 2_000.0
+#: Relative timing noise of one loop.
+NOISE_SIGMA = 0.012
+#: Reference loops averaged per symbol.
+LOOPS_PER_BIT = 8
+#: Settle time: at least one window boundary (default 1 ms) must pass
+#: before a requested duty level is in force.
+SETTLE_NS = ms(1.2)
+#: Recovery time back to full duty after the symbol.
+RECOVER_NS = ms(1.2)
+
+
+class DutyCycleChannel(BaselineChannel):
+    """MSR-driven duty cycling vs. an unprivileged timing loop."""
+
+    name = "ClockModCovert"
+    leakage_source = "T-state duty cycle"
+
+    @classmethod
+    def prerequisites(cls) -> Prerequisites:
+        return Prerequisites()
+
+    @property
+    def bit_time_ns(self) -> int:
+        return ms(2.5)
+
+    def setup(self) -> None:
+        self._rng = self.system.namer.rng("clockmod-noise")
+        #: Per-loop measurements ``(time_ns, duration_ns)``.
+        self.observations: list[tuple[int, float]] = []
+        # The sender writes its own package's modulation MSR; the
+        # receiver is gated by its own package's duty level.
+        self._modulator = self.sender.socket.modulation.clockmod
+        self._receiver_clock = self.receiver.socket.modulation.clockmod
+        high = self._observe_state(1)
+        low = self._observe_state(0)
+        self._threshold = (low + high) / 2.0
+
+    def _timed_reference_loop(self) -> float:
+        duration = BASE_LOOP_NS / self._receiver_clock.duty_fraction * (
+            1.0 + float(self._rng.normal(0.0, NOISE_SIGMA))
+        )
+        self.system.engine.run_for(max(int(duration), 1))
+        self.observations.append((self.system.now, duration))
+        return duration
+
+    def _observe_state(self, bit: int) -> float:
+        self._modulator.set_duty(
+            DUTY_ONE if bit else self._modulator.config.duty_steps
+        )
+        self.system.run_for(SETTLE_NS)
+        loops = [self._timed_reference_loop()
+                 for _ in range(LOOPS_PER_BIT)]
+        self._modulator.set_duty(self._modulator.config.duty_steps)
+        self.system.run_for(RECOVER_NS)
+        return sum(loops) / len(loops)
+
+    def send_and_receive(self, bit: int) -> int:
+        mean = self._observe_state(bit)
+        return 1 if mean > self._threshold else 0

@@ -1,0 +1,128 @@
+"""TurboCC (Gross et al., https://arxiv.org/pdf/2007.07046).
+
+Turbo Boost publishes a table of maximum frequencies indexed by the
+number of simultaneously active cores, and the package ceiling follows
+that table as cores wake and park.  The sender wakes a group of helper
+cores to drag the ceiling down one bin; the receiver times its own
+arithmetic — clocked at the shared ceiling — and reads the bin back.
+
+The shared resource is the *per-package* turbo ceiling, modelled by
+:class:`~repro.power.modulation.TurboController`: no caches, no shared
+memory, no interconnect traffic.  LLC randomization and fine-grained
+uncore partitioning leave it intact; only coarse (per-socket)
+partitioning separates the parties, because each package boosts
+independently (mirroring the paper's cross-CPU limitation).
+"""
+
+from __future__ import annotations
+
+from ..cpu.activity import ActivityProfile
+from ..units import ms
+from .base import BaselineChannel, Prerequisites
+
+#: Helper cores the sender wakes to move the active-core count across
+#: a turbo-bin boundary.  Six helpers cross a boundary both from the
+#: quiet baseline (1-2 active -> 7-8 active) and under four stressor
+#: threads (5-6 active -> 11-12 active) on the default bin table.
+HELPER_CORES = 6
+
+#: Plain-compute profile for the sender's helpers: active, core-private
+#: work only — no LLC traffic (the uncore must not see extra demand,
+#: the channel lives entirely in the core clock domain).
+ACTIVE_COMPUTE_PROFILE = ActivityProfile(
+    active=True, l2_rate_per_us=50.0, stall_ratio=0.05
+)
+
+#: Light profile the receiver's timing loop carries (it must count as
+#: an active core — the loop is real work).
+RECEIVER_LOOP_PROFILE = ActivityProfile(
+    active=True, l2_rate_per_us=10.0, stall_ratio=0.02
+)
+
+#: Cycles of the receiver's fixed reference loop.  At the default bins
+#: the per-loop duration separates cleanly: 10.8 us at 3.7 GHz vs
+#: 12.1 us at 3.3 GHz vs 12.9 us at 3.1 GHz.
+LOOP_CYCLES = 40_000.0
+#: Relative timing noise of one loop (averaged over LOOPS_PER_BIT).
+NOISE_SIGMA = 0.012
+#: Reference loops averaged per symbol.
+LOOPS_PER_BIT = 8
+#: Settle time for the turbo controller to observe the new active-core
+#: count (two evaluation periods of the default 1 ms).
+SETTLE_NS = ms(2)
+#: Recovery time after the helpers park again.
+RECOVER_NS = ms(1)
+
+
+class TurboBoostChannel(BaselineChannel):
+    """Helper-core wakeups vs. a turbo-clocked timing loop."""
+
+    name = "TurboCC"
+    leakage_source = "Turbo Boost bins"
+
+    @classmethod
+    def prerequisites(cls) -> Prerequisites:
+        return Prerequisites()
+
+    @property
+    def bit_time_ns(self) -> int:
+        return ms(3)
+
+    def setup(self) -> None:
+        self._rng = self.system.namer.rng("turbocc-noise")
+        #: Per-loop measurements ``(time_ns, duration_ns)`` — the raw
+        #: stream the golden corpora snapshot.
+        self.observations: list[tuple[int, float]] = []
+        # The receiver reads its own package's ceiling; touching the
+        # property instantiates the (lazy) controller before any timing.
+        self._turbo = self.receiver.socket.modulation.turbo
+        # The sender modulates its own package's active-core count.
+        free = [
+            core
+            for core in self.sender.socket.cores
+            if core.owner is None and core.core_id != self.receiver.core_id
+        ]
+        self._helpers = free[:HELPER_CORES]
+        for core in self._helpers:
+            core.claim(f"{self.name}-helper-{core.core_id}")
+        self.receiver.set_profile(RECEIVER_LOOP_PROFILE)
+        # Calibrate: observe both symbol states, threshold at midpoint.
+        high = self._observe_state(1)
+        low = self._observe_state(0)
+        self._threshold = (low + high) / 2.0
+
+    def _set_helpers(self, awake: bool) -> None:
+        now = self.system.now
+        for core in self._helpers:
+            core.set_profile(
+                now, ACTIVE_COMPUTE_PROFILE if awake else
+                ActivityProfile()
+            )
+
+    def _timed_reference_loop(self) -> float:
+        duration = LOOP_CYCLES * 1_000.0 / self._turbo.ceiling_mhz * (
+            1.0 + float(self._rng.normal(0.0, NOISE_SIGMA))
+        )
+        self.system.engine.run_for(max(int(duration), 1))
+        self.observations.append((self.system.now, duration))
+        return duration
+
+    def _observe_state(self, bit: int) -> float:
+        self._set_helpers(bool(bit))
+        self.system.run_for(SETTLE_NS)
+        loops = [self._timed_reference_loop()
+                 for _ in range(LOOPS_PER_BIT)]
+        self._set_helpers(False)
+        self.system.run_for(RECOVER_NS)
+        return sum(loops) / len(loops)
+
+    def send_and_receive(self, bit: int) -> int:
+        mean = self._observe_state(bit)
+        return 1 if mean > self._threshold else 0
+
+    def shutdown(self) -> None:
+        now = self.system.now
+        for core in self._helpers:
+            core.set_profile(now, ActivityProfile())
+            core.release(now)
+        super().shutdown()

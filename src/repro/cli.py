@@ -285,7 +285,11 @@ def _cmd_defenses(args: argparse.Namespace) -> dict:
 
 
 def _cmd_compare(args: argparse.Namespace) -> dict:
-    from .channels.comparison import PAPER_TABLE3, comparison_matrix
+    from .channels.comparison import (
+        EXTENDED_TABLE3,
+        PAPER_TABLE3,
+        comparison_matrix,
+    )
     from .channels.scenarios import SCENARIOS
     from .fastpath.backend import resolve_backend
 
@@ -309,7 +313,9 @@ def _cmd_compare(args: argparse.Namespace) -> dict:
                 row.append("-")
                 continue
             row.append(cell.mark)
-            expected = PAPER_TABLE3.get(channel, {}).get(key)
+            expected = {**PAPER_TABLE3, **EXTENDED_TABLE3}.get(
+                channel, {}
+            ).get(key)
             if expected is not None:
                 total += 1
                 agree += int(cell.functional is expected)
@@ -632,10 +638,14 @@ def _cmd_validate(args: argparse.Namespace) -> dict:
         repro_dir=args.repro_dir,
         checkpoint_dir=args.resume,
     )
+    kinds = report.scenario_kinds
     if not args.json:
         print(f"{report.count - len(report.failures)}/{report.count} "
               f"scenarios clean (seed {report.seed}, "
               f"{len(report.violations)} violations)")
+        print("modulation regimes: " + ", ".join(
+            f"{kind}={count}" for kind, count in sorted(kinds.items())
+        ))
         if report.repro_path:
             print(f"repro file: {report.repro_path}")
     report.raise_on_failure()
@@ -645,6 +655,7 @@ def _cmd_validate(args: argparse.Namespace) -> dict:
             "scenarios": report.count,
             "violations": 0,
             "fault": report.fault,
+            "scenario_kinds": kinds,
         },
     }
 

@@ -14,9 +14,12 @@ from collections.abc import Callable
 from ..cache.hierarchy import CacheHierarchy
 from ..cache.slice_hash import RandomizedIndexer, SliceHash
 from ..config import (
+    ClockModulationConfig,
     CStateConfig,
+    CurrentLimitConfig,
     DemandModelConfig,
     SocketConfig,
+    TurboConfig,
     UfsConfig,
 )
 from ..cpu.core import Core
@@ -31,6 +34,7 @@ from ..engine import Engine
 from ..noc.contention import ContentionTracker
 from ..noc.topology import MeshTopology
 from ..power.cstates import PackageCStateManager
+from ..power.modulation import ModulationUnit
 from ..power.ufs import UfsPmu
 
 
@@ -45,6 +49,9 @@ class Socket:
         ufs_config: UfsConfig,
         demand_config: DemandModelConfig,
         cstate_config: CStateConfig,
+        turbo_config: TurboConfig | None = None,
+        current_config: CurrentLimitConfig | None = None,
+        clockmod_config: ClockModulationConfig | None = None,
         pmu_phase_ns: int = 0,
         remote_frequency: Callable[[], int] | None = None,
         coupling_lag_mhz: int = 100,
@@ -73,6 +80,10 @@ class Socket:
         )
         self.contention = ContentionTracker()
         self.pc_states = PackageCStateManager(self.cores, cstate_config)
+        self._turbo_config = turbo_config or TurboConfig()
+        self._current_config = current_config or CurrentLimitConfig()
+        self._clockmod_config = clockmod_config or ClockModulationConfig()
+        self._modulation: ModulationUnit | None = None
         self.pmu = UfsPmu(
             socket_id=config.socket_id,
             engine=engine,
@@ -113,6 +124,32 @@ class Socket:
     def uncore_freq_mhz(self) -> int:
         """Current uncore frequency (privileged observer's view)."""
         return self.pmu.current_mhz
+
+    @property
+    def modulation(self) -> ModulationUnit:
+        """The socket's turbo/current/duty modulation bundle.
+
+        Created on first access: a run that never touches the turbo,
+        current-limit or clock-modulation channels schedules no
+        modulation ticks, keeping default event streams (and the UFS
+        golden traces) unchanged.
+        """
+        if self._modulation is None:
+            self._modulation = ModulationUnit(
+                socket_id=self.socket_id,
+                engine=self.engine,
+                cores=self.cores,
+                turbo_config=self._turbo_config,
+                current_config=self._current_config,
+                clockmod_config=self._clockmod_config,
+                base_freq_mhz=self.config.base_freq_mhz,
+            )
+        return self._modulation
+
+    @property
+    def modulation_active(self) -> bool:
+        """Whether the lazy modulation bundle has been created."""
+        return self._modulation is not None
 
     def core(self, core_id: int) -> Core:
         return self.cores[core_id]

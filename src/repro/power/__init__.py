@@ -18,12 +18,28 @@ from .timeline import FrequencyTimeline
 from .ufs import DemandModel, SocketSnapshot, UfsPmu
 from .cstates import PackageCStateManager
 from .energy import EnergyMeter
+from .modulation import (
+    CurrentThrottleController,
+    DutyCycleModulator,
+    DutySnapshot,
+    ModulationUnit,
+    ThrottleSnapshot,
+    TurboController,
+    TurboSnapshot,
+)
 
 __all__ = [
+    "CurrentThrottleController",
     "DemandModel",
+    "DutyCycleModulator",
+    "DutySnapshot",
     "EnergyMeter",
     "FrequencyTimeline",
+    "ModulationUnit",
     "PackageCStateManager",
     "SocketSnapshot",
+    "ThrottleSnapshot",
+    "TurboController",
+    "TurboSnapshot",
     "UfsPmu",
 ]

@@ -27,6 +27,7 @@ from .protocol import JobSpec, spec_from_wire
 __all__ = [
     "EXPERIMENTS",
     "ExperimentRunner",
+    "comparison_cells_from_payload",
     "defense_reports_from_payload",
     "execute_instrumented",
     "register_experiment",
@@ -143,6 +144,53 @@ def _run_evaluate_defenses(params: dict, seed: int, backend: str,
     }
 
 
+def _run_comparison_matrix(params: dict, seed: int, backend: str,
+                           checkpoint_dir) -> dict:
+    from ..channels.comparison import (
+        ALL_CHANNELS,
+        CHANNELS_BY_NAME,
+        comparison_matrix,
+    )
+    from ..channels.scenarios import SCENARIOS, scenario_by_key
+
+    del checkpoint_dir
+    names = params.get("channels")
+    if names is None:
+        channels = ALL_CHANNELS
+    else:
+        unknown = sorted(set(names) - set(CHANNELS_BY_NAME))
+        if unknown:
+            raise ServiceError(
+                f"unknown channels {unknown}; servable: "
+                f"{sorted(CHANNELS_BY_NAME)}"
+            )
+        channels = tuple(CHANNELS_BY_NAME[name] for name in names)
+    keys = params.get("scenarios")
+    scenarios = (
+        SCENARIOS if keys is None
+        else tuple(scenario_by_key(key) for key in keys)
+    )
+    cells = comparison_matrix(
+        bits=int(params.get("bits", 24)),
+        seed=seed,
+        channels=channels,
+        scenarios=scenarios,
+        backend=backend,
+    )
+    return {
+        "cells": [
+            {
+                "channel": cell.channel,
+                "scenario": cell.scenario,
+                "functional": cell.functional,
+                "error_rate": cell.error_rate,
+                "note": cell.note,
+            }
+            for cell in cells
+        ],
+    }
+
+
 EXPERIMENTS: dict[str, ExperimentRunner] = {}
 
 
@@ -180,6 +228,11 @@ register_experiment(ExperimentRunner(
     run=_run_evaluate_defenses,
     param_names=frozenset({"bits", "defenses"}),
     supports_checkpoint=True,
+))
+register_experiment(ExperimentRunner(
+    name="comparison_matrix",
+    run=_run_comparison_matrix,
+    param_names=frozenset({"bits", "channels", "scenarios"}),
 ))
 
 
@@ -244,6 +297,24 @@ def sweep_from_payload(payload: dict):
         )
         for point in payload["points"]
     ))
+
+
+def comparison_cells_from_payload(payload: dict):
+    """Decode a served ``comparison_matrix`` payload back to
+    :class:`~repro.channels.comparison.ComparisonCell` records
+    (bit-identical to the direct call's return value)."""
+    from ..channels.comparison import ComparisonCell
+
+    return [
+        ComparisonCell(
+            channel=cell["channel"],
+            scenario=cell["scenario"],
+            functional=cell["functional"],
+            error_rate=cell["error_rate"],
+            note=cell["note"],
+        )
+        for cell in payload["cells"]
+    ]
 
 
 def defense_reports_from_payload(payload: dict):

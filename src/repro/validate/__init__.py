@@ -30,7 +30,13 @@ from .differential import (
     run_differential_suite,
 )
 from .faults import FAULTS, inject_fault
-from .oracles import ORACLES, Observation, Violation, check_all
+from .oracles import (
+    ORACLES,
+    ModulationObservation,
+    Observation,
+    Violation,
+    check_all,
+)
 from .runner import (
     ScenarioOutcome,
     ValidationReport,
@@ -45,6 +51,7 @@ from .scenarios import (
     ChannelParams,
     DefenseSpec,
     FuzzScenario,
+    ModulationSpec,
     WorkloadSpec,
     build_platform,
     generate_scenario,
@@ -62,6 +69,8 @@ __all__ = [
     "DifferentialReport",
     "FAULTS",
     "FuzzScenario",
+    "ModulationObservation",
+    "ModulationSpec",
     "ORACLES",
     "Observation",
     "ScenarioOutcome",

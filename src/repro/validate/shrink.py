@@ -34,6 +34,7 @@ __all__ = ["shrink"]
 _FIELD_ORDER = (
     "channel",
     "defenses",
+    "modulation",
     "workloads",
     "check_telemetry",
     "sockets",

@@ -1,0 +1,137 @@
+"""End-to-end battery for the modulation channel families.
+
+Locks down the three channels built on :mod:`repro.power.modulation` —
+TurboCC, IChannels, ClockModCovert — exactly where the Table 3 harness
+exercises them: per-scenario functionality against the expected
+:data:`~repro.channels.comparison.EXTENDED_TABLE3` rows, specificity
+of the targeted countermeasures, and bit-identity of the served
+``comparison_matrix`` experiment against the direct in-process call.
+"""
+
+import pytest
+
+from repro.channels import (
+    ALL_CHANNELS,
+    CHANNELS_BY_NAME,
+    EXTENDED_TABLE3,
+    comparison_matrix,
+    evaluate_channel,
+)
+from repro.channels.scenarios import scenario_by_key
+from repro.defenses.evaluation import (
+    MODULATION_DEFENSE_KEYS,
+    modulation_defense_matrix,
+)
+from repro.errors import ServiceError
+from repro.service.jobs import (
+    comparison_cells_from_payload,
+    run_job,
+)
+from repro.service.protocol import JobSpec
+from repro.validate import equal_results
+
+MODULATION_CHANNELS = tuple(EXTENDED_TABLE3)
+
+#: BER estimates on broken channels are coin flips; below ~24 bits the
+#: sample variance can dip under the functionality threshold and
+#: misgrade a stopped channel as working.
+BITS = 24
+
+
+class TestTable3Rows:
+    def test_matrix_has_fourteen_rows(self):
+        assert len(ALL_CHANNELS) == 14
+        assert len(CHANNELS_BY_NAME) == 14  # names are unique
+
+    def test_extended_rows_are_registered(self):
+        assert set(EXTENDED_TABLE3) <= set(CHANNELS_BY_NAME)
+        for name in EXTENDED_TABLE3:
+            assert EXTENDED_TABLE3[name].keys() == \
+                EXTENDED_TABLE3[MODULATION_CHANNELS[0]].keys()
+
+    @pytest.mark.parametrize("channel", MODULATION_CHANNELS)
+    def test_scenario_grid_matches_expected_row(self, channel):
+        channel_cls = CHANNELS_BY_NAME[channel]
+        expected_row = EXTENDED_TABLE3[channel]
+        for key, expected in expected_row.items():
+            cell = evaluate_channel(
+                channel_cls, scenario_by_key(key), bits=BITS, seed=0
+            )
+            assert cell.functional == expected, (
+                f"{channel} x {key}: functional={cell.functional} "
+                f"(err={cell.error_rate}, note={cell.note!r}), "
+                f"expected {expected}"
+            )
+
+    @pytest.mark.parametrize("channel", MODULATION_CHANNELS)
+    def test_baseline_is_clean(self, channel):
+        cell = evaluate_channel(
+            CHANNELS_BY_NAME[channel], scenario_by_key("baseline"),
+            bits=BITS, seed=0,
+        )
+        assert cell.functional
+        assert cell.error_rate == 0.0
+
+
+class TestDefenseSpecificity:
+    def test_each_defense_stops_exactly_its_target(self):
+        cells = modulation_defense_matrix(bits=BITS, seed=0)
+        assert len(cells) == (
+            len(MODULATION_CHANNELS) * len(MODULATION_DEFENSE_KEYS)
+        )
+        for cell in cells:
+            if cell.defense == "none":
+                assert not cell.channel_stopped, (
+                    f"{cell.channel} broken with no defense: "
+                    f"err={cell.error_rate}"
+                )
+            else:
+                assert cell.channel_stopped == cell.targeted, (
+                    f"{cell.defense} x {cell.channel}: "
+                    f"stopped={cell.channel_stopped}, "
+                    f"targeted={cell.targeted} (err={cell.error_rate})"
+                )
+
+    def test_locked_duty_cycle_cannot_deploy(self):
+        cells = modulation_defense_matrix(bits=BITS, seed=0)
+        locked = next(
+            c for c in cells
+            if c.defense == "lock_duty_cycle"
+            and c.channel == "ClockModCovert"
+        )
+        assert locked.error_rate is None
+        assert "cannot deploy" in locked.note
+
+
+class TestServedMatrix:
+    def test_served_cells_bit_identical_to_direct(self):
+        spec = JobSpec(
+            experiment="comparison_matrix",
+            params={
+                "bits": 10,
+                "channels": list(MODULATION_CHANNELS),
+                "scenarios": ["baseline", "coarse_partition"],
+            },
+            seed=3,
+        )
+        served = comparison_cells_from_payload(run_job(spec))
+        direct = comparison_matrix(
+            bits=10,
+            seed=3,
+            channels=tuple(
+                CHANNELS_BY_NAME[name] for name in MODULATION_CHANNELS
+            ),
+            scenarios=(
+                scenario_by_key("baseline"),
+                scenario_by_key("coarse_partition"),
+            ),
+        )
+        assert equal_results(served, direct)
+
+    def test_unknown_channel_name_is_rejected(self):
+        spec = JobSpec(
+            experiment="comparison_matrix",
+            params={"bits": 4, "channels": ["TurboCC", "NoSuchChannel"]},
+        )
+        with pytest.raises(ServiceError, match="NoSuchChannel"):
+            run_job(spec)

@@ -264,8 +264,19 @@ class TestComparisonMatrixGuard:
     def test_explicit_vectorized_backend_rejected(self):
         from repro.channels.comparison import comparison_matrix
 
-        with pytest.raises(ConfigError, match="only the DES backend"):
+        # The error must name the offending backend and list the
+        # supported ones, so a typo'd CLI flag is self-explanatory.
+        with pytest.raises(ConfigError) as excinfo:
             comparison_matrix(bits=4, backend="batch")
+        message = str(excinfo.value)
+        assert "'batch'" in message
+        assert "des" in message and "auto" in message
+
+    def test_analytical_backend_rejected_by_name(self):
+        from repro.channels.comparison import comparison_matrix
+
+        with pytest.raises(ConfigError, match="'analytical'"):
+            comparison_matrix(bits=4, backend="analytical")
 
     def test_unknown_defense_is_a_clean_error(self):
         from repro.defenses.evaluation import channel_under_defense

@@ -22,14 +22,22 @@ from repro.validate import (
     shrink,
 )
 from repro.validate.oracles import (
+    ModulationObservation,
     oracle_capacity_bound,
+    oracle_duty_grid,
     oracle_evaluation_spacing,
     oracle_frequency_grid,
     oracle_frequency_range,
     oracle_telemetry_transparent,
+    oracle_throttle_dwell,
     oracle_time_monotonic,
+    oracle_turbo_bins,
 )
-from repro.validate.scenarios import ChannelParams, DefenseSpec
+from repro.validate.scenarios import (
+    ChannelParams,
+    DefenseSpec,
+    ModulationSpec,
+)
 
 
 class TestScenarioGeneration:
@@ -62,6 +70,25 @@ class TestScenarioGeneration:
         assert any(s.check_telemetry for s in scenarios)
         kinds = {d.kind for s in scenarios for d in s.defenses}
         assert len(kinds) >= 3
+
+    def test_every_modulation_kind_is_drawn(self):
+        # The fuzzer must keep exercising all three controller families.
+        kinds = {
+            s.modulation.kind
+            for s in generate_scenarios(0, 120)
+            if s.modulation is not None
+        }
+        assert kinds == {"turbo", "current", "duty"}
+
+    def test_validity_rejects_bad_modulation_specs(self):
+        for bad in (
+            ModulationSpec(kind="bogus"),
+            ModulationSpec(toggles=0),
+            ModulationSpec(cores=9),
+            ModulationSpec(duty_step=17),
+        ):
+            scenario = dataclasses.replace(BASELINE, modulation=bad)
+            assert not is_valid(scenario), bad
 
     def test_randomize_defense_only_on_100mhz_grids(self):
         for scenario in generate_scenarios(0, 300):
@@ -195,6 +222,69 @@ class TestOracleUnits:
         same = self._obs(digest="a", telemetry_digest="a")
         assert oracle_telemetry_transparent(BASELINE, same) == []
 
+    def _modulation_obs(self, **overrides) -> Observation:
+        base = dict(
+            turbo=((1_000_000, 5, 3300),),
+            throttle=((0, 0), (600_000, 1)),
+            duty=((0, 16, 2600.0), (2_000_000, 8, 1300.0)),
+        )
+        base.update(overrides)
+        return self._obs(modulation=ModulationObservation(**base))
+
+    def test_clean_modulation_observation_passes_all(self):
+        assert check_all(BASELINE, self._modulation_obs()) == []
+
+    def test_turbo_oracle_trips_off_bin_ceiling(self):
+        # 5 active cores publish the 3300 MHz bin, not 3700.
+        obs = self._modulation_obs(turbo=((1_000_000, 5, 3700),))
+        [violation] = oracle_turbo_bins(BASELINE, obs)
+        assert violation.oracle == "turbo-bins"
+        assert "3300" in violation.message
+
+    def test_throttle_oracle_trips_on_level_jump(self):
+        obs = self._modulation_obs(throttle=((0, 0), (600_000, 2)))
+        assert any(
+            "one level" in v.message
+            for v in oracle_throttle_dwell(BASELINE, obs)
+        )
+
+    def test_throttle_oracle_trips_inside_dwell(self):
+        obs = self._modulation_obs(throttle=((0, 0), (100_000, 1)))
+        assert any(
+            "dwell" in v.message
+            for v in oracle_throttle_dwell(BASELINE, obs)
+        )
+
+    def test_throttle_oracle_trips_off_ladder(self):
+        obs = self._modulation_obs(throttle=((0, 5),))
+        [violation] = oracle_throttle_dwell(BASELINE, obs)
+        assert "ladder" in violation.message
+
+    def test_duty_oracle_trips_off_grid_level(self):
+        obs = self._modulation_obs(duty=((0, 17, 2762.5),))
+        assert any(
+            "grid" in v.message
+            for v in oracle_duty_grid(BASELINE, obs)
+        )
+
+    def test_duty_oracle_trips_on_wrong_effective_clock(self):
+        obs = self._modulation_obs(duty=((0, 8, 1400.0),))
+        [violation] = oracle_duty_grid(BASELINE, obs)
+        assert "effective clock" in violation.message
+
+    def test_duty_oracle_trips_off_window_boundary(self):
+        obs = self._modulation_obs(
+            duty=((0, 16, 2600.0), (1_500_000, 8, 1300.0))
+        )
+        [violation] = oracle_duty_grid(BASELINE, obs)
+        assert "window boundary" in violation.message
+
+    def test_modulation_oracles_skip_plain_observations(self):
+        obs = self._obs()  # modulation=None
+        assert oracle_turbo_bins(BASELINE, obs) == []
+        assert oracle_throttle_dwell(BASELINE, obs) == []
+        assert oracle_duty_grid(BASELINE, obs) == []
+
 
 class TestExecution:
     def test_baseline_scenario_is_clean(self):
@@ -223,6 +313,28 @@ class TestExecution:
         obs = execute_scenario(scenario)
         assert obs.telemetry_digest == obs.digest
         assert check_all(scenario, obs) == []
+
+    @pytest.mark.parametrize("kind", ["turbo", "current", "duty"])
+    def test_modulated_scenario_records_and_stays_clean(self, kind):
+        scenario = dataclasses.replace(
+            BASELINE, modulation=ModulationSpec(kind=kind, toggles=3)
+        )
+        obs = execute_scenario(scenario)
+        assert obs.modulation is not None
+        stream = {
+            "turbo": obs.modulation.turbo,
+            "current": obs.modulation.throttle,
+            "duty": obs.modulation.duty,
+        }[kind]
+        assert stream, f"{kind} modulation left no observations"
+        assert check_all(scenario, obs) == []
+
+    def test_modulation_is_part_of_the_digest(self):
+        plain = execute_scenario(BASELINE)
+        modulated = execute_scenario(dataclasses.replace(
+            BASELINE, modulation=ModulationSpec(kind="duty", toggles=2)
+        ))
+        assert plain.digest != modulated.digest
 
 
 class TestValidationRun:
