@@ -9,10 +9,20 @@ holds one connection and serialises its own requests, so a fleet of
 clients gives a fleet of connections.
 
 Both translate HTTP errors back into the library's exception
-vocabulary — ``429`` to :class:`~repro.errors.QueueFullError`,
-``404`` to :class:`~repro.errors.JobNotFoundError`, anything else
-non-2xx to :class:`~repro.errors.ServiceError` — so calling code
+vocabulary — ``404`` to :class:`~repro.errors.JobNotFoundError`,
+``503`` to :class:`~repro.errors.ServiceUnavailableError`, anything
+else non-2xx to :class:`~repro.errors.ServiceError` — so calling code
 handles a remote daemon exactly like the in-process scheduler.
+
+``429`` gets the backpressure treatment the status code asks for:
+both clients **back off and retry** with a bounded, deterministic
+schedule (the daemon's ``Retry-After`` header when present, otherwise
+the resilience layer's seeded jittered backoff) before surfacing
+:class:`~repro.errors.QueueFullError`.  Every pause increments
+``service.client.backoffs`` in the ambient telemetry registry (when
+one is installed) and the client's own ``backoffs`` attribute.  Pass
+``max_backoffs=0`` to observe raw backpressure (the load bench does:
+its rejection counts *are* the measurement).
 
 The convenience helpers close the determinism loop:
 :meth:`ServiceClient.capacity_sweep` submits, polls, decodes and
@@ -28,7 +38,14 @@ import http.client
 import json
 import time
 
-from ..errors import JobNotFoundError, QueueFullError, ServiceError
+from ..errors import (
+    JobNotFoundError,
+    QueueFullError,
+    ServiceError,
+    ServiceUnavailableError,
+)
+from ..resilience.retry import RetryPolicy
+from ..telemetry.context import active_registry
 from .jobs import sweep_from_payload
 from .protocol import JobSpec, JobState, spec_to_wire
 
@@ -37,6 +54,14 @@ __all__ = ["AsyncServiceClient", "ServiceClient"]
 #: Default pause between result polls (seconds).
 DEFAULT_POLL_S = 0.02
 
+#: How many 429 backoff-and-retry rounds a client attempts by default.
+DEFAULT_MAX_BACKOFFS = 5
+
+#: The deterministic 429 backoff schedule (seeded jitter, capped).
+BACKOFF_POLICY = RetryPolicy(max_attempts=DEFAULT_MAX_BACKOFFS + 1,
+                             base_backoff_s=0.02, backoff_factor=2.0,
+                             max_backoff_s=0.5)
+
 
 def _raise_for(status: int, payload: dict) -> None:
     message = payload.get("error", f"HTTP {status}")
@@ -44,6 +69,8 @@ def _raise_for(status: int, payload: dict) -> None:
         raise QueueFullError(message)
     if status == 404:
         raise JobNotFoundError(message)
+    if status == 503:
+        raise ServiceUnavailableError(message)
     if status >= 400:
         raise ServiceError(f"HTTP {status}: {message}")
 
@@ -57,18 +84,45 @@ def _terminal_or_raise(record: dict) -> dict:
         )
     if state == JobState.CANCELLED:
         raise ServiceError(f"job {record.get('job_id')} was cancelled")
+    if state == JobState.EXPIRED:
+        raise ServiceError(
+            f"job {record.get('job_id')} expired: {record.get('error')}"
+        )
     return record
+
+
+def _retry_after_s(value: str | None) -> float | None:
+    """Parse a ``Retry-After`` header (seconds form only)."""
+    if value is None:
+        return None
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        return None
 
 
 class ServiceClient:
     """Synchronous client over one keep-alive connection."""
 
     def __init__(self, port: int, *, host: str = "127.0.0.1",
-                 timeout: float = 60.0) -> None:
+                 timeout: float = 60.0,
+                 max_backoffs: int = DEFAULT_MAX_BACKOFFS,
+                 backoff_seed: int = 0) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.max_backoffs = max_backoffs
+        self.backoff_seed = backoff_seed
+        #: 429 pauses taken so far (also counted into the ambient
+        #: registry as ``service.client.backoffs`` when one is set).
+        self.backoffs = 0
         self._conn: http.client.HTTPConnection | None = None
+
+    def _note_backoff(self) -> None:
+        self.backoffs += 1
+        registry = active_registry()
+        if registry is not None:
+            registry.inc("service.client.backoffs")
 
     # -- plumbing -----------------------------------------------------
 
@@ -90,11 +144,8 @@ class ServiceClient:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
 
-    def _request(self, method: str, path: str,
-                 payload: dict | None = None) -> dict:
-        body = json.dumps(payload).encode("utf-8") if payload is not None \
-            else None
-        headers = {"Content-Type": "application/json"} if body else {}
+    def _roundtrip(self, method: str, path: str, body: bytes | None,
+                   headers: dict) -> tuple[int, dict, float | None]:
         for attempt in (1, 2):
             conn = self._connection()
             try:
@@ -108,7 +159,28 @@ class ServiceClient:
                 if attempt == 2:
                     raise
         data = json.loads(raw.decode("utf-8")) if raw else {}
-        _raise_for(response.status, data)
+        return (response.status, data,
+                _retry_after_s(response.getheader("Retry-After")))
+
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> dict:
+        body = json.dumps(payload).encode("utf-8") if payload is not None \
+            else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        for round_ in range(self.max_backoffs + 1):
+            status, data, retry_after = self._roundtrip(
+                method, path, body, headers
+            )
+            if status != 429 or round_ >= self.max_backoffs:
+                break
+            delay = retry_after if retry_after is not None else \
+                BACKOFF_POLICY.backoff_s(
+                    round_ + 1, seed=self.backoff_seed,
+                    label=f"{method} {path}",
+                )
+            self._note_backoff()
+            time.sleep(delay)
+        _raise_for(status, data)
         return data
 
     # -- the API ------------------------------------------------------
@@ -183,12 +255,23 @@ class ServiceClient:
 class AsyncServiceClient:
     """Asynchronous client: one connection, requests serialised on it."""
 
-    def __init__(self, port: int, *, host: str = "127.0.0.1") -> None:
+    def __init__(self, port: int, *, host: str = "127.0.0.1",
+                 max_backoffs: int = DEFAULT_MAX_BACKOFFS,
+                 backoff_seed: int = 0) -> None:
         self.host = host
         self.port = port
+        self.max_backoffs = max_backoffs
+        self.backoff_seed = backoff_seed
+        self.backoffs = 0
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._lock = asyncio.Lock()
+
+    def _note_backoff(self) -> None:
+        self.backoffs += 1
+        registry = active_registry()
+        if registry is not None:
+            registry.inc("service.client.backoffs")
 
     async def close(self) -> None:
         if self._writer is not None:
@@ -213,7 +296,8 @@ class AsyncServiceClient:
             )
 
     async def _roundtrip(self, method: str, path: str,
-                         body: bytes | None) -> tuple[int, bytes]:
+                         body: bytes | None
+                         ) -> tuple[int, bytes, dict[str, str]]:
         await self._connect()
         assert self._reader is not None and self._writer is not None
         head = (
@@ -230,32 +314,45 @@ class AsyncServiceClient:
         if not status_line:
             raise ConnectionError("daemon closed the connection")
         status = int(status_line.split(b" ", 2)[1])
-        length = 0
+        headers: dict[str, str] = {}
         while True:
             line = await self._reader.readline()
             if not line or line in (b"\r\n", b"\n"):
                 break
             name, _sep, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
-                length = int(value.strip())
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
         raw = await self._reader.readexactly(length) if length else b""
-        return status, raw
+        return status, raw, headers
 
     async def _request(self, method: str, path: str,
                        payload: dict | None = None) -> dict:
         body = json.dumps(payload).encode("utf-8") \
             if payload is not None else None
-        async with self._lock:  # HTTP/1.1 without pipelining
-            for attempt in (1, 2):
-                try:
-                    status, raw = await self._roundtrip(method, path, body)
-                    break
-                except (ConnectionError, asyncio.IncompleteReadError,
-                        OSError):
-                    await self.close()
-                    if attempt == 2:
-                        raise
-        data = json.loads(raw.decode("utf-8")) if raw else {}
+        for round_ in range(self.max_backoffs + 1):
+            async with self._lock:  # HTTP/1.1 without pipelining
+                for attempt in (1, 2):
+                    try:
+                        status, raw, headers = await self._roundtrip(
+                            method, path, body
+                        )
+                        break
+                    except (ConnectionError, asyncio.IncompleteReadError,
+                            OSError):
+                        await self.close()
+                        if attempt == 2:
+                            raise
+            data = json.loads(raw.decode("utf-8")) if raw else {}
+            if status != 429 or round_ >= self.max_backoffs:
+                break
+            delay = _retry_after_s(headers.get("retry-after"))
+            if delay is None:
+                delay = BACKOFF_POLICY.backoff_s(
+                    round_ + 1, seed=self.backoff_seed,
+                    label=f"{method} {path}",
+                )
+            self._note_backoff()
+            await asyncio.sleep(delay)
         _raise_for(status, data)
         return data
 

@@ -42,9 +42,10 @@ from ..errors import (
     JobNotFoundError,
     QueueFullError,
     ServiceError,
+    ServiceUnavailableError,
 )
 from ..telemetry.registry import MetricsRegistry
-from .protocol import record_to_wire, spec_from_wire
+from .protocol import JobState, record_to_wire, spec_from_wire
 from .queue import JobQueue
 from .scheduler import Scheduler
 from .store import LocalDirBackend, ResultCache
@@ -64,7 +65,14 @@ _STATUS_TEXT = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
+
+#: What a 429 response advises clients to wait before retrying
+#: (seconds) — small, because the queue refills as fast as one job
+#: finishes.
+RETRY_AFTER_S = 0.05
 
 
 @dataclass(frozen=True)
@@ -76,17 +84,29 @@ class ServiceConfig:
     ``store_root=None`` disables the sharded result cache — every
     submission computes; point it at a directory to serve repeats from
     disk.  ``checkpoint_root=None`` disables sweep checkpointing.
+
+    ``backend`` picks where the shards live: ``local`` (one directory
+    per shard under ``store_root``) or ``remote`` (the replicated
+    :class:`~repro.service.remote.RemoteBlobBackend`, with
+    ``replication``-way copies, quorum reads and a local write-through
+    cache under the same root).  ``drain_timeout_s`` bounds how long a
+    graceful shutdown waits for admitted jobs before cancelling the
+    stragglers.
     """
 
     host: str = "127.0.0.1"
     port: int = 0
     store_root: str | Path | None = None
     shards: int = 8
+    backend: str = "local"
+    replication: int = 3
+    read_quorum: int | None = None
     pools: int = 2
     workers_per_pool: int = 2
     queue_depth: int = 1024
     max_per_tenant: int | None = None
     checkpoint_root: str | Path | None = None
+    drain_timeout_s: float = 30.0
 
 
 class ExperimentService:
@@ -101,10 +121,26 @@ class ExperimentService:
                  registry: MetricsRegistry | None = None) -> None:
         self.config = config if config is not None else ServiceConfig()
         self.registry = registry if registry is not None else MetricsRegistry()
+        if self.config.backend not in ("local", "remote"):
+            raise ConfigError(
+                f"backend must be local|remote, "
+                f"got {self.config.backend!r}"
+            )
         cache = None
         if self.config.store_root is not None:
-            backend = LocalDirBackend(self.config.store_root,
-                                      shard_count=self.config.shards)
+            if self.config.backend == "remote":
+                from .remote import RemoteBlobBackend
+
+                backend = RemoteBlobBackend(
+                    self.config.store_root,
+                    shard_count=self.config.shards,
+                    replication=self.config.replication,
+                    read_quorum=self.config.read_quorum,
+                    registry=self.registry,
+                )
+            else:
+                backend = LocalDirBackend(self.config.store_root,
+                                          shard_count=self.config.shards)
             cache = ResultCache(backend, registry=self.registry)
         self.cache = cache
         self.scheduler = Scheduler(
@@ -141,12 +177,25 @@ class ExperimentService:
         await self.scheduler.stop()
 
     def request_shutdown(self) -> None:
-        """Ask :meth:`serve_until_shutdown` to return (loop-thread safe)."""
+        """Ask :meth:`serve_until_shutdown` to return (loop-thread safe).
+
+        Draining starts *synchronously*: any submission routed after
+        this call is refused with 503, even before the serve loop has
+        woken up to run the drain.
+        """
+        self.scheduler.start_draining()
         self._shutdown.set()
 
     async def serve_until_shutdown(self) -> None:
-        """Block until ``/v1/shutdown`` (or :meth:`request_shutdown`)."""
+        """Block until ``/v1/shutdown``, then drain before stopping.
+
+        Graceful order: refuse new submissions (503), let admitted
+        jobs run to completion (bounded by ``drain_timeout_s`` — the
+        stragglers are cancelled, never silently dropped), then close
+        the socket and stop the executors.
+        """
         await self._shutdown.wait()
+        await self.scheduler.drain(timeout_s=self.config.drain_timeout_s)
         await self.stop()
 
     # -- HTTP plumbing ------------------------------------------------
@@ -159,11 +208,12 @@ class ExperimentService:
                 if request is None:
                     break
                 method, path, headers, body = request
-                status, payload = await self._route(method, path, body)
+                status, payload, extra = await self._route(method, path,
+                                                           body)
                 close = (headers.get("connection", "").lower() == "close"
                          or status >= 500)
                 await self._write_response(writer, status, payload,
-                                           close=close)
+                                           close=close, extra=extra)
                 if close:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
@@ -205,13 +255,18 @@ class ExperimentService:
 
     async def _write_response(self, writer: asyncio.StreamWriter,
                               status: int, payload: dict, *,
-                              close: bool) -> None:
+                              close: bool,
+                              extra: dict | None = None) -> None:
         body = json.dumps(payload).encode("utf-8")
+        extra_lines = "".join(
+            f"{name}: {value}\r\n" for name, value in (extra or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            f"{extra_lines}"
             f"\r\n"
         ).encode("ascii")
         writer.write(head + body)
@@ -220,21 +275,31 @@ class ExperimentService:
     # -- routing ------------------------------------------------------
 
     async def _route(self, method: str, path: str,
-                     body: bytes | None) -> tuple[int, dict]:
+                     body: bytes | None) -> tuple[int, dict, dict | None]:
         if body is None:
             return 413, {"error": "request body too large",
-                         "type": "ServiceError"}
+                         "type": "ServiceError"}, None
         try:
-            return self._dispatch(method, path, body)
+            result = self._dispatch(method, path, body)
         except QueueFullError as exc:
-            return 429, {"error": str(exc), "type": "QueueFullError"}
+            return 429, {"error": str(exc), "type": "QueueFullError"}, {
+                "Retry-After": f"{RETRY_AFTER_S:g}"
+            }
+        except ServiceUnavailableError as exc:
+            return 503, {"error": str(exc),
+                         "type": "ServiceUnavailableError"}, None
         except JobNotFoundError as exc:
-            return 404, {"error": str(exc), "type": "JobNotFoundError"}
+            return 404, {"error": str(exc),
+                         "type": "JobNotFoundError"}, None
         except ServiceError as exc:
-            return 400, {"error": str(exc), "type": "ServiceError"}
+            return 400, {"error": str(exc), "type": "ServiceError"}, None
         except Exception as exc:  # noqa: BLE001 - last-resort 500
             return 500, {"error": f"{type(exc).__name__}: {exc}",
-                         "type": type(exc).__name__}
+                         "type": type(exc).__name__}, None
+        if len(result) == 2:
+            status, payload = result
+            return status, payload, None
+        return result
 
     def _dispatch(self, method: str, path: str,
                   body: bytes) -> tuple[int, dict]:
@@ -264,6 +329,10 @@ class ExperimentService:
                 job_id, want_result = rest, False
             if method == "GET":
                 record = self.scheduler.get(job_id)
+                if want_result and record.state == JobState.EXPIRED:
+                    # The distinct deadline mapping: asking for the
+                    # *result* of an expired job is a timeout, not OK.
+                    return 504, record_to_wire(record)
                 return 200, record_to_wire(record,
                                            with_result=want_result)
             if method == "DELETE" and not want_result:
@@ -326,6 +395,15 @@ class ServiceThread:
             self._loop.call_soon_threadsafe(self.service.request_shutdown)
         if self._thread is not None:
             self._thread.join(timeout=30.0)
+        if exc_type is None and self.service is not None:
+            # The graceful-shutdown contract: everything admitted was
+            # finished, cancelled-with-bookkeeping, or persisted —
+            # never silently dropped.
+            leftover = self.service.scheduler.backlog()
+            if leftover:
+                raise ServiceError(
+                    f"daemon exited with {leftover} undrained jobs"
+                )
 
     def _run(self) -> None:
         try:

@@ -45,7 +45,9 @@ class JobState:
     ``PENDING -> RUNNING -> DONE | FAILED``; ``CANCELLED`` is reachable
     only from ``PENDING`` (a running simulation cannot be interrupted
     mid-flight; cancel marks it unwanted and the scheduler drops the
-    result).
+    result).  ``EXPIRED`` is the deadline analogue of ``CANCELLED``:
+    the job's ``deadline_ms`` elapsed before it produced a result, so
+    the scheduler abandoned the wait and the record carries no payload.
     """
 
     PENDING = "pending"
@@ -53,9 +55,10 @@ class JobState:
     DONE = "done"
     FAILED = "failed"
     CANCELLED = "cancelled"
+    EXPIRED = "expired"
 
     #: States from which no further transition happens.
-    TERMINAL = frozenset({DONE, FAILED, CANCELLED})
+    TERMINAL = frozenset({DONE, FAILED, CANCELLED, EXPIRED})
 
 
 @dataclass(frozen=True)
@@ -66,7 +69,10 @@ class JobSpec:
     experiment's runner (see :data:`repro.service.jobs.EXPERIMENTS`);
     ``backend`` is the usual ``des | batch | analytical | auto``
     spelling (``None`` defers to the server's default resolution);
-    ``tenant`` and ``priority`` only affect queueing — never results.
+    ``tenant`` and ``priority`` only affect queueing — never results;
+    ``deadline_ms`` bounds how long the submitter is willing to wait
+    end-to-end (``None`` means forever) and likewise never shapes the
+    result, only whether one is produced.
     """
 
     experiment: str
@@ -75,6 +81,7 @@ class JobSpec:
     backend: str | None = None
     tenant: str = "default"
     priority: int = 0
+    deadline_ms: float | None = None
 
     def validate(self) -> None:
         """Raise :class:`~repro.errors.ServiceError` on a malformed spec."""
@@ -100,6 +107,14 @@ class JobSpec:
             raise ServiceError(
                 f"priority must be an integer, got {self.priority!r}"
             )
+        if self.deadline_ms is not None:
+            if (not isinstance(self.deadline_ms, (int, float))
+                    or isinstance(self.deadline_ms, bool)
+                    or self.deadline_ms <= 0):
+                raise ServiceError(
+                    f"deadline_ms must be a positive number, "
+                    f"got {self.deadline_ms!r}"
+                )
 
     def resolved_backend(self) -> str:
         """The concrete backend this spec runs under.
@@ -114,9 +129,10 @@ class JobSpec:
     def key(self) -> str:
         """The spec's content address — the trace store's key recipe.
 
-        Tenant and priority are deliberately excluded: they shape
-        scheduling, not results, so two tenants submitting the same
-        experiment share a cache line.
+        Tenant, priority and deadline are deliberately excluded: they
+        shape scheduling, not results, so two tenants submitting the
+        same experiment share a cache line whatever patience they
+        declared.
         """
         from ..trace.store import TraceStore
 
@@ -147,6 +163,9 @@ class JobRecord:
     #: Which pool ran the job (``None`` for cache hits and unfinished
     #: jobs) — makes work stealing observable in status payloads.
     pool: str | None = None
+    #: Server-side absolute deadline (``time.perf_counter`` seconds),
+    #: derived once at submission from the spec's ``deadline_ms``.
+    deadline_at: float | None = None
 
     @property
     def done(self) -> bool:
@@ -155,7 +174,7 @@ class JobRecord:
 
 def spec_to_wire(spec: JobSpec) -> dict:
     """The JSON object a client submits."""
-    return {
+    wire = {
         "experiment": spec.experiment,
         "params": spec.params,
         "seed": spec.seed,
@@ -163,10 +182,14 @@ def spec_to_wire(spec: JobSpec) -> dict:
         "tenant": spec.tenant,
         "priority": spec.priority,
     }
+    if spec.deadline_ms is not None:
+        wire["deadline_ms"] = spec.deadline_ms
+    return wire
 
 
 _WIRE_FIELDS = frozenset(
-    {"experiment", "params", "seed", "backend", "tenant", "priority"}
+    {"experiment", "params", "seed", "backend", "tenant", "priority",
+     "deadline_ms"}
 )
 
 
@@ -197,6 +220,7 @@ def spec_from_wire(payload: Any) -> JobSpec:
         backend=payload.get("backend"),
         tenant=payload.get("tenant") or "default",
         priority=payload.get("priority", 0),
+        deadline_ms=payload.get("deadline_ms"),
     )
     spec.validate()
     return spec
@@ -216,6 +240,7 @@ def record_to_wire(record: JobRecord, *, with_result: bool = False) -> dict:
         "attempts": record.attempts,
         "cache_hit": record.cache_hit,
         "pool": record.pool,
+        "deadline_ms": record.spec.deadline_ms,
         "error": record.error,
     }
     if with_result:

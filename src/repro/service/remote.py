@@ -1,0 +1,1040 @@
+"""The replicated remote shard backend and its rebalancer.
+
+:class:`RemoteBlobBackend` hosts every shard of the sharded store on
+``N`` remote blob endpoints (simulated by
+:class:`~repro.service.transport.DirTransport` directories, optionally
+wrapped in deterministic fault injection) while keeping a local
+write-through cache per shard.  It satisfies the same
+:class:`~repro.service.store.ShardBackend` protocol as the local
+backend, so :class:`~repro.service.store.ShardedTraceStore` and
+:class:`~repro.service.store.ResultCache` route through it unchanged.
+
+Containment layers, outermost first:
+
+* **digest wrapping** — every remote object is ``sha256(body) + body``;
+  a torn or bit-rotted replica copy fails the digest and is *rejected*,
+  never served (``service.remote.torn_rejected``);
+* **per-op retry** — transient transport faults (timeouts, resets)
+  retry under a :class:`~repro.resilience.retry.RetryPolicy` with the
+  library's deterministic backoff;
+* **quorum reads + read repair** — a read collects every replica's
+  copy, picks the digest with the most votes (deterministic
+  tie-break), flags reads below ``read_quorum``, and rewrites the
+  winning bytes onto every replica that was missing, torn or divergent
+  (``service.remote.read_repairs``);
+* **per-shard circuit breaker** — sustained remote failure trips a
+  call-counted :class:`~repro.resilience.breaker.CircuitBreaker`; while
+  it is open the shard degrades to its local write-through cache
+  (``service.remote.degraded_reads`` / ``degraded_writes``) and heals
+  back through the breaker's half-open probe;
+* **write-through cache** — every put lands locally *first*, so a
+  remote outage can delay replication but never lose data: ``repro
+  shards heal`` pushes the backlog once the remote returns.
+
+**Rebalancing** is a pure function of store contents:
+:func:`plan_rebalance` lists every object, routes its key stem under
+the new shard count through the same
+:func:`~repro.service.store.shard_index` every other router uses, and
+emits a sorted list of copy-then-delete steps plus a sha256 manifest of
+where every object must end up.  :func:`execute_rebalance` replays the
+steps (copy, verify digest, delete source, checkpoint) through the
+resilience layer's :class:`~repro.resilience.checkpoint.Checkpoint`, so
+a migration killed mid-flight resumes from the last recorded step —
+and because every step copies before it deletes, the killed window
+always leaves the object readable at the source or the destination.
+:func:`verify_rebalance` re-reads the manifest and proves bit-identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import (
+    ConfigError,
+    RebalanceError,
+    RebalanceInterrupted,
+    RemoteStoreError,
+)
+from ..resilience.breaker import CircuitBreaker
+from ..resilience.checkpoint import Checkpoint
+from ..resilience.retry import RetryPolicy
+from ..telemetry.context import active_registry
+from ..telemetry.registry import MetricsRegistry
+from ..trace.store import TraceStore
+from .store import LocalDirBackend, shard_index
+from .transport import BlobTransport, DirTransport, FaultSpec, FaultyTransport
+
+__all__ = [
+    "MigrationStep",
+    "RebalancePlan",
+    "RemoteBlobBackend",
+    "RemoteShardStore",
+    "discover_layout",
+    "execute_rebalance",
+    "open_backend",
+    "plan_rebalance",
+    "shard_io_for",
+    "verify_rebalance",
+]
+
+#: Retry shape for individual transport operations: a couple of fast
+#: attempts with no sleeping — remote latency is simulated, and the
+#: quorum/breaker layers above absorb what retries cannot.
+DEFAULT_REMOTE_RETRY = RetryPolicy(max_attempts=3, base_backoff_s=0.0,
+                                   max_backoff_s=0.0)
+
+
+def _wrap(body: bytes) -> bytes:
+    """The remote object envelope: ``sha256(body) + body``."""
+    return hashlib.sha256(body).digest() + body
+
+
+def _unwrap(blob: bytes | None) -> bytes | None:
+    """The body back out, or ``None`` for a torn/damaged object."""
+    if blob is None or len(blob) < 32:
+        return None
+    digest, body = blob[:32], blob[32:]
+    if hashlib.sha256(body).digest() != digest:
+        return None
+    return body
+
+
+@dataclass(frozen=True)
+class _QuorumRead:
+    """What one replicated read saw."""
+
+    body: bytes | None
+    votes: int
+    errors: int
+    replicas: int
+
+
+class RemoteShardStore:
+    """One shard: N replica transports + a local write-through cache.
+
+    Speaks the :class:`~repro.trace.store.TraceStore` surface (put /
+    fetch / load / open / contains / entries / total_bytes / gc /
+    rebuild_index / quarantine / verify) so the sharded facade routes
+    to it unchanged, plus the ``*_result`` quartet the
+    :class:`~repro.service.store.ResultCache` uses when its backend
+    hosts results remotely.
+    """
+
+    def __init__(self, *, replicas: list[BlobTransport], cache: TraceStore,
+                 read_quorum: int, retry: RetryPolicy | None = None,
+                 breaker: CircuitBreaker | None = None,
+                 max_bytes: int | None = None,
+                 registry: MetricsRegistry | None = None,
+                 seed: int = 0, name: str = "shard") -> None:
+        if not replicas:
+            raise ConfigError("a remote shard needs at least one replica")
+        if not 1 <= read_quorum <= len(replicas):
+            raise RemoteStoreError(
+                f"read_quorum {read_quorum} out of range for "
+                f"{len(replicas)} replicas"
+            )
+        self.replicas = replicas
+        self.cache = cache
+        self.read_quorum = read_quorum
+        self.write_quorum = len(replicas) // 2 + 1
+        self.retry = retry if retry is not None else DEFAULT_REMOTE_RETRY
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            failure_threshold=3, cooldown=4, name="service.remote",
+        )
+        self.max_bytes = max_bytes
+        self.registry = registry
+        self.seed = seed
+        self.name = name
+
+    # -- bookkeeping --------------------------------------------------
+
+    def _count(self, metric: str, amount: int = 1) -> None:
+        registry = (self.registry if self.registry is not None
+                    else active_registry())
+        if registry is not None:
+            registry.inc(f"service.remote.{metric}", amount)
+
+    def _attempt(self, fn, *args, op: str):
+        """One transport call under the shard's retry policy."""
+        last: BaseException | None = None
+        for attempt in range(1, self.retry.max_attempts + 1):
+            try:
+                return fn(*args)
+            except Exception as exc:  # noqa: BLE001 - classified below
+                if not self.retry.is_transient(exc):
+                    raise
+                last = exc
+                if attempt < self.retry.max_attempts:
+                    self._count("retries")
+                    delay = self.retry.backoff_s(
+                        attempt, seed=self.seed,
+                        label=f"{self.name}/{op}",
+                    )
+                    if delay > 0.0:
+                        time.sleep(delay)
+        assert last is not None
+        raise last
+
+    # -- replicated object I/O ----------------------------------------
+
+    @staticmethod
+    def _blob_name(key: str) -> str:
+        return f"blobs/{key}.uftc"
+
+    @staticmethod
+    def _entry_name(key: str) -> str:
+        return f"index/{key}.json"
+
+    @staticmethod
+    def _result_name(key: str) -> str:
+        return f"results/{key}.res"
+
+    def _get_object(self, name: str, *, repair: bool = True) -> _QuorumRead:
+        """Quorum read: collect, vote, read-repair the losers."""
+        bodies: dict[str, bytes] = {}
+        holders: dict[str, set[int]] = {}
+        reached: set[int] = set()
+        errors = 0
+        for idx, replica in enumerate(self.replicas):
+            try:
+                blob = self._attempt(replica.get, name, op=f"get/{name}")
+            except Exception:  # noqa: BLE001 - replica down, keep going
+                errors += 1
+                self._count("replica_errors")
+                continue
+            reached.add(idx)
+            if blob is None:
+                continue
+            body = _unwrap(blob)
+            if body is None:
+                self._count("torn_rejected")
+                continue
+            digest = hashlib.sha256(body).hexdigest()
+            bodies[digest] = body
+            holders.setdefault(digest, set()).add(idx)
+        if not bodies:
+            return _QuorumRead(None, 0, errors, len(self.replicas))
+        winner = max(holders, key=lambda d: (len(holders[d]), d))
+        votes = len(holders[winner])
+        if votes < self.read_quorum:
+            self._count("below_quorum_reads")
+        body = bodies[winner]
+        if repair:
+            blob = _wrap(body)
+            for idx in sorted(reached - holders[winner]):
+                try:
+                    self._attempt(self.replicas[idx].put, name, blob,
+                                  op=f"repair/{name}")
+                except Exception:  # noqa: BLE001 - repair is best-effort
+                    self._count("replica_errors")
+                else:
+                    self._count("read_repairs")
+        return _QuorumRead(body, votes, errors, len(self.replicas))
+
+    def _put_object(self, name: str, body: bytes) -> int:
+        """Replicate one object; the number of replicas that acked."""
+        blob = _wrap(body)
+        acked = 0
+        for replica in self.replicas:
+            try:
+                self._attempt(replica.put, name, blob, op=f"put/{name}")
+            except Exception:  # noqa: BLE001 - counted, quorum decides
+                self._count("replica_errors")
+            else:
+                acked += 1
+        return acked
+
+    def _delete_object(self, name: str) -> None:
+        for replica in self.replicas:
+            try:
+                self._attempt(replica.delete, name, op=f"delete/{name}")
+            except Exception:  # noqa: BLE001 - heal sweeps stragglers
+                self._count("replica_errors")
+
+    def _list_stems(self, prefix: str, suffix: str) -> set[str]:
+        """Union of object key stems under ``prefix`` across replicas."""
+        stems: set[str] = set()
+        for replica in self.replicas:
+            try:
+                names = self._attempt(replica.list, prefix,
+                                      op=f"list/{prefix}")
+            except Exception:  # noqa: BLE001 - a down replica hides
+                self._count("replica_errors")  # nothing the union of the
+                continue                       # others cannot supply
+            for name in names:
+                base = name.rsplit("/", 1)[-1]
+                if base.endswith(suffix) and name.count("/") == 1:
+                    stems.add(base[:-len(suffix)])
+        return stems
+
+    # -- local materialisation ----------------------------------------
+
+    def _materialize(self, key: str, body: bytes) -> None:
+        """Land remote-won bytes in the local cache (blob + entry)."""
+        blob_file = self.cache.blob_path(key)
+        if (not blob_file.exists()
+                or blob_file.stat().st_size != len(body)
+                or blob_file.read_bytes() != body):
+            blob_file.parent.mkdir(parents=True, exist_ok=True)
+            temp = blob_file.with_name(
+                f"{blob_file.name}.{os.getpid()}.pull.tmp"
+            )
+            temp.write_bytes(body)
+            os.replace(temp, blob_file)
+        self._ensure_local_entry(key)
+
+    def _ensure_local_entry(self, key: str) -> None:
+        from ..errors import TraceStoreError
+
+        try:
+            entry = self.cache._read_entry(key)
+        except TraceStoreError:
+            entry = None
+        if entry is not None:
+            return
+        read = self._get_object(self._entry_name(key))
+        if read.body is not None:
+            path = self.cache._entry_path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            temp = path.with_name(f"{path.name}.{os.getpid()}.pull.tmp")
+            temp.write_bytes(read.body)
+            os.replace(temp, path)
+        elif self.cache.blob_path(key).exists():
+            self.cache._heal_entry(key)
+
+    def _pull(self, key: str) -> bool:
+        """Fetch the blob from the replicas into the local cache.
+
+        Feeds the breaker: all replicas erroring is a failure, a clean
+        miss or a served body is a success.  Returns whether the blob
+        is now present locally.
+        """
+        read = self._get_object(self._blob_name(key))
+        if read.body is None:
+            if read.errors >= read.replicas:
+                self.breaker.record_failure()
+                self._count("degraded_reads")
+            else:
+                self.breaker.record_success()
+            return self.cache.contains(key)
+        self.breaker.record_success()
+        self._materialize(key, read.body)
+        return True
+
+    # -- the TraceStore surface ---------------------------------------
+
+    def blob_path(self, key: str) -> Path:
+        return self.cache.blob_path(key)
+
+    def put(self, key: str, records, *, experiment: str = "",
+            meta: dict | None = None) -> Path:
+        """Write-through: local cache first, then replicate."""
+        path = self.cache.put(key, records, experiment=experiment,
+                              meta=meta)
+        self._push_key(key)
+        return path
+
+    def _push_key(self, key: str) -> None:
+        if not self.breaker.allow_write():
+            self._count("degraded_writes")
+            return
+        blob_file = self.cache.blob_path(key)
+        if not blob_file.exists():
+            return  # the cache's own breaker dropped the write
+        acked = self._put_object(self._blob_name(key),
+                                 blob_file.read_bytes())
+        entry_path = self.cache._entry_path(key)
+        if entry_path.exists():
+            acked = min(acked, self._put_object(
+                self._entry_name(key), entry_path.read_bytes()
+            ))
+        if acked >= self.write_quorum:
+            self.breaker.record_success()
+        else:
+            self.breaker.record_failure()
+            self._count("puts_below_quorum")
+
+    def fetch(self, key: str):
+        if not self.breaker.allow():
+            self._count("breaker_short_circuits")
+            self._count("degraded_reads")
+            return self.cache.fetch(key)
+        self._pull(key)
+        return self.cache.fetch(key)
+
+    def contains(self, key: str) -> bool:
+        if self.cache.contains(key):
+            return True
+        if not self.breaker.allow():
+            self._count("degraded_reads")
+            return False
+        return self._pull(key)
+
+    def load(self, key: str):
+        self._ensure_local(key)
+        return self.cache.load(key)
+
+    def open(self, key: str):
+        self._ensure_local(key)
+        return self.cache.open(key)
+
+    def _ensure_local(self, key: str) -> None:
+        if self.cache.contains(key):
+            self._ensure_local_entry(key)
+            return
+        if not self.breaker.allow():
+            self._count("degraded_reads")
+            return
+        self._pull(key)
+
+    def entries(self) -> list:
+        for key in sorted(self._list_stems("index/", ".json")):
+            self._ensure_local_entry(key)
+        return self.cache.entries()
+
+    def total_bytes(self) -> int:
+        return sum(entry.size_bytes for entry in self.entries())
+
+    def gc(self, max_bytes: int | None = None) -> list[str]:
+        """Evict LRU corpora locally *and* on every replica."""
+        cap = self.max_bytes if max_bytes is None else max_bytes
+        if cap is None:
+            return []
+        entries = sorted(self.entries(), key=lambda e: (e.tick, e.key))
+        total = sum(entry.size_bytes for entry in entries)
+        evicted: list[str] = []
+        for entry in entries:
+            if total <= cap:
+                break
+            self.cache.blob_path(entry.key).unlink(missing_ok=True)
+            self.cache._entry_path(entry.key).unlink(missing_ok=True)
+            self._delete_object(self._blob_name(entry.key))
+            self._delete_object(self._entry_name(entry.key))
+            total -= entry.size_bytes
+            evicted.append(entry.key)
+            self._count("evictions")
+        return evicted
+
+    def rebuild_index(self) -> list[str]:
+        """Pull what the replicas hold, heal locally, push the repairs."""
+        if self.breaker.allow():
+            for key in sorted(self._list_stems("blobs/", ".uftc")):
+                if not self.cache.contains(key):
+                    self._pull(key)
+        rebuilt = self.cache.rebuild_index()
+        if rebuilt and self.breaker.allow_write():
+            for key in rebuilt:
+                entry_path = self.cache._entry_path(key)
+                if entry_path.exists():
+                    self._put_object(self._entry_name(key),
+                                     entry_path.read_bytes())
+        return rebuilt
+
+    def quarantine(self, key: str) -> Path:
+        """Move the damaged object aside locally and on every replica."""
+        for name in (self._blob_name(key), self._entry_name(key)):
+            read = self._get_object(name, repair=False)
+            if read.body is not None:
+                self._put_object(f"quarantine/{name.rsplit('/', 1)[-1]}",
+                                 read.body)
+            self._delete_object(name)
+        return self.cache.quarantine(key)
+
+    def verify(self):
+        """Materialise the replicas' view locally, then verify it."""
+        for key in sorted(self._list_stems("index/", ".json")):
+            self._ensure_local_entry(key)
+        for key in sorted(self._list_stems("blobs/", ".uftc")):
+            if not self.cache.contains(key):
+                self._pull(key)
+        return self.cache.verify()
+
+    # -- result records (the ResultCache's remote hook) ---------------
+
+    def _local_result(self, key: str) -> Path:
+        return self.cache.root / "results" / f"{key}.res"
+
+    def get_result(self, key: str) -> bytes | None:
+        local = self._local_result(key)
+        if not self.breaker.allow():
+            self._count("breaker_short_circuits")
+            self._count("degraded_reads")
+            return local.read_bytes() if local.exists() else None
+        read = self._get_object(self._result_name(key))
+        if read.body is None:
+            if read.errors >= read.replicas:
+                self.breaker.record_failure()
+                self._count("degraded_reads")
+            else:
+                self.breaker.record_success()
+            return local.read_bytes() if local.exists() else None
+        self.breaker.record_success()
+        if not local.exists() or local.read_bytes() != read.body:
+            local.parent.mkdir(parents=True, exist_ok=True)
+            temp = local.with_name(f"{local.name}.{os.getpid()}.pull.tmp")
+            temp.write_bytes(read.body)
+            os.replace(temp, local)
+        return read.body
+
+    def put_result(self, key: str, blob: bytes) -> Path:
+        local = self._local_result(key)
+        local.parent.mkdir(parents=True, exist_ok=True)
+        temp = local.with_name(f"{local.name}.{os.getpid()}.tmp")
+        temp.write_bytes(blob)
+        os.replace(temp, local)
+        if not self.breaker.allow_write():
+            self._count("degraded_writes")
+            return local
+        acked = self._put_object(self._result_name(key), blob)
+        if acked >= self.write_quorum:
+            self.breaker.record_success()
+        else:
+            self.breaker.record_failure()
+            self._count("puts_below_quorum")
+        return local
+
+    def contains_result(self, key: str) -> bool:
+        if self._local_result(key).exists():
+            return True
+        if not self.breaker.allow():
+            return False
+        read = self._get_object(self._result_name(key), repair=False)
+        if read.body is None and read.errors >= read.replicas:
+            self.breaker.record_failure()
+        else:
+            self.breaker.record_success()
+        return read.body is not None
+
+    def drop_result(self, key: str) -> None:
+        """Quarantine a damaged result record everywhere it lives."""
+        local = self._local_result(key)
+        if local.exists():
+            quarantine = local.parent / "quarantine"
+            quarantine.mkdir(parents=True, exist_ok=True)
+            os.replace(local, quarantine / local.name)
+        read = self._get_object(self._result_name(key), repair=False)
+        if read.body is not None:
+            self._put_object(f"quarantine/{key}.res", read.body)
+        self._delete_object(self._result_name(key))
+
+    # -- full-sweep repair (``repro shards heal``) --------------------
+
+    def heal(self) -> dict:
+        """Converge replicas and the local cache in both directions.
+
+        For every object anyone holds: quorum-read it (which repairs
+        divergent replicas), push it up if only the local write-through
+        cache has it (a degraded-mode backlog), pull it down if only
+        the replicas do.  Returns counts for the CLI report.
+        """
+        report = {"pushed": 0, "pulled": 0, "objects": 0}
+
+        def sync(name: str, local: Path) -> None:
+            report["objects"] += 1
+            read = self._get_object(name)
+            if read.body is None:
+                if local.exists():
+                    self._put_object(name, local.read_bytes())
+                    report["pushed"] += 1
+                return
+            if not local.exists():
+                local.parent.mkdir(parents=True, exist_ok=True)
+                temp = local.with_name(
+                    f"{local.name}.{os.getpid()}.pull.tmp"
+                )
+                temp.write_bytes(read.body)
+                os.replace(temp, local)
+                report["pulled"] += 1
+
+        blob_keys = self._list_stems("blobs/", ".uftc")
+        blob_keys.update(p.stem for p in
+                         self.cache.root.glob("blobs/*.uftc"))
+        for key in sorted(blob_keys):
+            sync(self._blob_name(key), self.cache.blob_path(key))
+            self._ensure_local_entry(key)
+            entry_path = self.cache._entry_path(key)
+            sync(self._entry_name(key), entry_path)
+        result_keys = self._list_stems("results/", ".res")
+        result_keys.update(p.stem for p in
+                           self.cache.root.glob("results/*.res"))
+        for key in sorted(result_keys):
+            sync(self._result_name(key), self._local_result(key))
+        return report
+
+    def status(self) -> dict:
+        """Replica health for ``repro shards status``."""
+        per_replica = []
+        union: set[str] = set()
+        listings: list[set[str] | None] = []
+        for replica in self.replicas:
+            try:
+                names = set(self._attempt(replica.list, "", op="status"))
+            except Exception:  # noqa: BLE001 - down replica: report it
+                listings.append(None)
+                continue
+            listings.append(names)
+            union.update(names)
+        for idx, names in enumerate(listings):
+            per_replica.append({
+                "replica": idx,
+                "reachable": names is not None,
+                "objects": len(names) if names is not None else 0,
+                "missing": (len(union - names)
+                            if names is not None else len(union)),
+            })
+        return {
+            "breaker": self.breaker.state,
+            "replicas": per_replica,
+            "objects": len(union),
+        }
+
+
+class RemoteBlobBackend:
+    """Shards on replicated remote blob endpoints, cached locally.
+
+    Layout under ``root``::
+
+        <root>/remote/shard-00/replica-0/{blobs,index,results}/...
+        <root>/cache/shard-00/{blobs,index,results}/...
+
+    The ``remote/`` tree simulates the blob service (one directory per
+    replica node); ``cache/`` is the per-shard local write-through
+    cache — also what :meth:`shard_root` answers, so a
+    :class:`~repro.service.store.ResultCache` over this backend keeps
+    its local mirror exactly where a local backend would keep the
+    records.  ``faults`` wraps every replica transport in seed-derived
+    fault injection (chaos and the degraded-mode bench); operator
+    tooling opens the same root with ``faults=None``.
+    """
+
+    def __init__(self, root, *, shard_count: int = 8,
+                 replication: int = 3, read_quorum: int | None = None,
+                 faults: FaultSpec | None = None, seed: int = 0,
+                 retry: RetryPolicy | None = None,
+                 breaker_threshold: int = 3, breaker_cooldown: int = 4,
+                 max_bytes_per_shard: int | None = None,
+                 registry: MetricsRegistry | None = None) -> None:
+        if shard_count < 1:
+            raise ConfigError(
+                f"shard_count must be >= 1, got {shard_count}"
+            )
+        if replication < 1:
+            raise ConfigError(
+                f"replication must be >= 1, got {replication}"
+            )
+        quorum = (replication // 2 + 1) if read_quorum is None \
+            else read_quorum
+        if not 1 <= quorum <= replication:
+            raise ConfigError(
+                f"read_quorum {quorum} out of range for "
+                f"replication {replication}"
+            )
+        if faults is not None:
+            faults.validate()
+        self.root = Path(root)
+        self.remote_root = self.root / "remote"
+        self.cache_root = self.root / "cache"
+        self.shard_count = shard_count
+        self.replication = replication
+        self.read_quorum = quorum
+        self.faults = faults
+        self.seed = seed
+        self.retry = retry
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self.max_bytes_per_shard = max_bytes_per_shard
+        self.registry = registry
+        self._shards: dict[int, RemoteShardStore] = {}
+
+    # -- layout -------------------------------------------------------
+
+    def shard_root(self, index: int) -> Path:
+        return self.cache_root / f"shard-{index:02d}"
+
+    def replica_root(self, index: int, replica: int) -> Path:
+        return self.remote_root / f"shard-{index:02d}" / f"replica-{replica}"
+
+    def _transport(self, index: int, replica: int) -> BlobTransport:
+        transport: BlobTransport = DirTransport(
+            self.replica_root(index, replica)
+        )
+        if self.faults is not None:
+            transport = FaultyTransport(
+                transport, faults=self.faults, seed=self.seed,
+                name=f"shard{index:02d}/replica{replica}",
+            )
+        return transport
+
+    def _make_shard(self, index: int) -> RemoteShardStore:
+        return RemoteShardStore(
+            replicas=[self._transport(index, r)
+                      for r in range(self.replication)],
+            cache=TraceStore(self.shard_root(index)),
+            read_quorum=self.read_quorum,
+            retry=self.retry,
+            breaker=CircuitBreaker(
+                failure_threshold=self.breaker_threshold,
+                cooldown=self.breaker_cooldown,
+                name="service.remote",
+            ),
+            max_bytes=self.max_bytes_per_shard,
+            registry=self.registry,
+            seed=self.seed,
+            name=f"shard-{index:02d}",
+        )
+
+    def open_shard(self, index: int) -> RemoteShardStore:
+        if not 0 <= index < self.shard_count:
+            raise ConfigError(
+                f"shard index {index} out of range "
+                f"[0, {self.shard_count})"
+            )
+        store = self._shards.get(index)
+        if store is None:
+            store = self._make_shard(index)
+            self._shards[index] = store
+        return store
+
+    def result_store(self, index: int) -> RemoteShardStore:
+        """The :class:`ResultCache` hook: results ride the same shard."""
+        return self.open_shard(index)
+
+
+# -- topology discovery and CLI plumbing ------------------------------
+
+
+def _max_shard_index(parent: Path) -> int:
+    indices = []
+    if parent.is_dir():
+        for child in parent.iterdir():
+            name = child.name
+            if child.is_dir() and name.startswith("shard-"):
+                try:
+                    indices.append(int(name.split("-", 1)[1]))
+                except ValueError:
+                    continue
+    return (max(indices) + 1) if indices else 0
+
+
+def discover_layout(root) -> dict:
+    """What kind of store lives at ``root`` and how it is shaped.
+
+    Returns ``{"backend", "shard_count", "replication"}``; shard count
+    is the highest ``shard-NN`` directory plus one (shards materialise
+    lazily, so holes are normal).  A directory with a ``remote/``
+    subtree is a remote-backend root; anything else is local.
+    """
+    root = Path(root)
+    remote = root / "remote"
+    if remote.is_dir():
+        shard_count = _max_shard_index(remote)
+        replication = 0
+        for shard_dir in sorted(remote.glob("shard-*")):
+            replication = max(replication, len([
+                child for child in shard_dir.iterdir()
+                if child.is_dir() and child.name.startswith("replica-")
+            ]))
+        return {"backend": "remote",
+                "shard_count": shard_count or 1,
+                "replication": replication or 1}
+    return {"backend": "local",
+            "shard_count": _max_shard_index(root) or 1,
+            "replication": 1}
+
+
+def open_backend(root, *, backend: str = "auto", shards: int | None = None,
+                 replication: int | None = None,
+                 faults: FaultSpec | None = None, seed: int = 0,
+                 registry: MetricsRegistry | None = None):
+    """A ready backend over ``root`` (the CLI/daemon constructor).
+
+    ``backend="auto"`` discovers the layout on disk; explicit
+    ``shards``/``replication`` override what discovery found (a fresh
+    root discovers 1/1, so creators always pass them).
+    """
+    if backend not in ("auto", "local", "remote"):
+        raise ConfigError(
+            f"backend must be auto|local|remote, got {backend!r}"
+        )
+    layout = discover_layout(root)
+    kind = layout["backend"] if backend == "auto" else backend
+    shard_count = shards if shards is not None else layout["shard_count"]
+    if kind == "local":
+        return LocalDirBackend(root, shard_count=shard_count)
+    return RemoteBlobBackend(
+        root,
+        shard_count=shard_count,
+        replication=(replication if replication is not None
+                     else layout["replication"]),
+        faults=faults,
+        seed=seed,
+        registry=registry,
+    )
+
+
+# -- rebalancing ------------------------------------------------------
+
+
+class LocalShardIO:
+    """Raw object I/O over a local backend's shard directories."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def _shard_dir(self, shard: int) -> Path:
+        return self.root / f"shard-{shard:02d}"
+
+    def list(self, shard: int) -> list[str]:
+        shard_dir = self._shard_dir(shard)
+        if not shard_dir.is_dir():
+            return []
+        return sorted(
+            p.relative_to(shard_dir).as_posix()
+            for p in shard_dir.rglob("*")
+            if p.is_file() and not p.name.endswith(".tmp")
+        )
+
+    def read(self, shard: int, name: str) -> bytes | None:
+        try:
+            return (self._shard_dir(shard) / name).read_bytes()
+        except (FileNotFoundError, IsADirectoryError):
+            return None
+
+    def write(self, shard: int, name: str, blob: bytes) -> None:
+        path = self._shard_dir(shard) / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        temp.write_bytes(blob)
+        os.replace(temp, path)
+
+    def delete(self, shard: int, name: str) -> None:
+        try:
+            (self._shard_dir(shard) / name).unlink()
+        except FileNotFoundError:
+            pass
+
+
+class RemoteShardIO:
+    """Raw object I/O over a remote backend's replica sets.
+
+    ``read`` is a quorum read of the raw (unwrapped) body; ``write``
+    replicates and requires at least one ack; ``delete`` is
+    best-effort on every replica.  Shard indices are *not* bounds
+    checked against the backend's current count — migration writes to
+    destination shards that do not exist yet by definition.
+    """
+
+    def __init__(self, backend: RemoteBlobBackend) -> None:
+        self.backend = backend
+        self._shards: dict[int, RemoteShardStore] = {}
+
+    def _shard(self, shard: int) -> RemoteShardStore:
+        store = self._shards.get(shard)
+        if store is None:
+            store = self.backend._make_shard(shard)
+            self._shards[shard] = store
+        return store
+
+    def list(self, shard: int) -> list[str]:
+        names: set[str] = set()
+        store = self._shard(shard)
+        for replica in store.replicas:
+            try:
+                names.update(store._attempt(replica.list, "", op="list"))
+            except Exception:  # noqa: BLE001 - union of the others
+                store._count("replica_errors")
+        return sorted(names)
+
+    def read(self, shard: int, name: str) -> bytes | None:
+        return self._shard(shard)._get_object(name, repair=False).body
+
+    def write(self, shard: int, name: str, blob: bytes) -> None:
+        acked = self._shard(shard)._put_object(name, blob)
+        if acked < 1:
+            raise RemoteStoreError(
+                f"object {name!r} acked by no replica of shard {shard}"
+            )
+
+    def delete(self, shard: int, name: str) -> None:
+        self._shard(shard)._delete_object(name)
+
+
+def shard_io_for(backend):
+    """The raw object I/O adapter the rebalancer drives."""
+    if isinstance(backend, RemoteBlobBackend):
+        return RemoteShardIO(backend)
+    if isinstance(backend, LocalDirBackend):
+        return LocalShardIO(backend.root)
+    raise ConfigError(
+        f"no shard I/O adapter for {type(backend).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class MigrationStep:
+    """Move one object from its old shard to its new home."""
+
+    name: str
+    src: int
+    dst: int
+    sha256: str
+
+
+@dataclass(frozen=True)
+class RebalancePlan:
+    """A pure function of (store contents, old count, new count).
+
+    ``steps`` are the objects whose route changes, sorted; ``manifest``
+    records *every* object's final shard and digest, which is what the
+    post-migration verification replays.
+    """
+
+    old_shards: int
+    new_shards: int
+    steps: tuple[MigrationStep, ...]
+    manifest: tuple[tuple[str, int, str], ...]
+
+    @property
+    def plan_key(self) -> str:
+        material = json.dumps(
+            {
+                "old": self.old_shards,
+                "new": self.new_shards,
+                "steps": [[s.name, s.src, s.dst, s.sha256]
+                          for s in self.steps],
+            },
+            sort_keys=True, separators=(",", ":"),
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:32]
+
+
+def _key_stem(name: str) -> str:
+    """The routing key of an object name (``blobs/<key>.uftc`` -> key)."""
+    base = name.rsplit("/", 1)[-1]
+    return base.split(".", 1)[0]
+
+
+def plan_rebalance(io, old_shards: int, new_shards: int) -> RebalancePlan:
+    """Deterministic migration plan for a shard-count change.
+
+    Every object routes by its key stem through the same
+    :func:`~repro.service.store.shard_index` arithmetic the stores use;
+    objects whose shard does not change stay put.  Unreadable objects
+    (torn on every replica) are excluded — healing them is
+    :meth:`RemoteShardStore.heal`'s job, not the mover's.
+    """
+    if new_shards < 1:
+        raise ConfigError(f"new_shards must be >= 1, got {new_shards}")
+    steps: list[MigrationStep] = []
+    manifest: list[tuple[str, int, str]] = []
+    for shard in range(old_shards):
+        for name in io.list(shard):
+            body = io.read(shard, name)
+            if body is None:
+                continue
+            digest = hashlib.sha256(body).hexdigest()
+            dst = shard_index(_key_stem(name), new_shards)
+            manifest.append((name, dst, digest))
+            if dst != shard:
+                steps.append(MigrationStep(name=name, src=shard,
+                                           dst=dst, sha256=digest))
+    steps.sort(key=lambda s: (s.name, s.src))
+    manifest.sort()
+    return RebalancePlan(old_shards=old_shards, new_shards=new_shards,
+                         steps=tuple(steps), manifest=tuple(manifest))
+
+
+def execute_rebalance(io, plan: RebalancePlan, *,
+                      checkpoint_dir=None,
+                      crash_after: int | None = None) -> dict:
+    """Replay the plan: copy, verify, delete source, checkpoint.
+
+    Each completed step is recorded in a
+    :class:`~repro.resilience.checkpoint.Checkpoint` keyed by the
+    plan's digest, so a killed migration resumes by skipping recorded
+    steps.  The copy-before-delete order makes every crash window
+    safe: the object is always readable at the source or (digest
+    verified) at the destination.  ``crash_after`` is the chaos hook —
+    raise :class:`~repro.errors.RebalanceInterrupted` after that many
+    fresh moves.
+    """
+    checkpoint = None
+    done: dict = {}
+    if checkpoint_dir is not None:
+        directory = Path(checkpoint_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        checkpoint = Checkpoint(
+            directory / f"rebalance-{plan.plan_key}.ckpt.json",
+            key=plan.plan_key,
+        )
+        done = checkpoint.load()
+    moved = skipped = 0
+    for step in plan.steps:
+        label = f"{step.src}->{step.dst}:{step.name}"
+        if label in done:
+            skipped += 1
+            continue
+        if crash_after is not None and moved >= crash_after:
+            raise RebalanceInterrupted(
+                f"rebalance killed after {moved} steps "
+                f"(crash_after={crash_after}); checkpoint has "
+                f"{moved + skipped} of {len(plan.steps)} steps"
+            )
+        body = io.read(step.src, step.name)
+        if body is None:
+            # Crashed between delete and checkpoint-record last time:
+            # the copy is complete iff the destination verifies.
+            dst_body = io.read(step.dst, step.name)
+            if (dst_body is not None
+                    and hashlib.sha256(dst_body).hexdigest()
+                    == step.sha256):
+                io.delete(step.src, step.name)
+                if checkpoint is not None:
+                    checkpoint.record(label, True)
+                moved += 1
+                continue
+            raise RebalanceError(
+                f"object {step.name!r} readable at neither shard "
+                f"{step.src} nor shard {step.dst}"
+            )
+        if hashlib.sha256(body).hexdigest() != step.sha256:
+            raise RebalanceError(
+                f"object {step.name!r} changed since the plan was "
+                f"computed; re-plan before migrating"
+            )
+        io.write(step.dst, step.name, body)
+        io.delete(step.src, step.name)
+        if checkpoint is not None:
+            checkpoint.record(label, True)
+        moved += 1
+    if checkpoint is not None:
+        checkpoint.flush()
+    return {"planned": len(plan.steps), "moved": moved,
+            "skipped": skipped}
+
+
+def verify_rebalance(io, plan: RebalancePlan) -> dict:
+    """Prove every object landed where the manifest says, bit-identical."""
+    missing: list[str] = []
+    mismatched: list[str] = []
+    ok = 0
+    for name, shard, digest in plan.manifest:
+        body = io.read(shard, name)
+        if body is None:
+            missing.append(f"shard-{shard:02d}/{name}")
+        elif hashlib.sha256(body).hexdigest() != digest:
+            mismatched.append(f"shard-{shard:02d}/{name}")
+        else:
+            ok += 1
+    return {
+        "objects": len(plan.manifest),
+        "ok": ok,
+        "missing": missing,
+        "mismatched": mismatched,
+        "clean": not missing and not mismatched,
+    }

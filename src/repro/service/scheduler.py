@@ -41,7 +41,12 @@ from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
-from ..errors import ConfigError, JobNotFoundError, ServiceError
+from ..errors import (
+    ConfigError,
+    JobNotFoundError,
+    ServiceError,
+    ServiceUnavailableError,
+)
 from ..resilience.breaker import CircuitBreaker
 from ..resilience.retry import RetryPolicy
 from ..telemetry.registry import MetricsRegistry
@@ -121,6 +126,9 @@ class Scheduler:
         self._dispatched = asyncio.Event()
         self._tasks: list[asyncio.Task] = []
         self._running = False
+        #: Set during graceful shutdown: new submissions are refused
+        #: with 503 while admitted work runs to completion.
+        self.draining = False
 
     # -- lifecycle ----------------------------------------------------
 
@@ -173,12 +181,22 @@ class Scheduler:
         """Admit a spec: cache answer, queue it, or refuse (429/400).
 
         Runs on the event loop thread.  Raises ``ServiceError`` for a
-        malformed spec and ``QueueFullError`` under backpressure.
+        malformed spec, ``QueueFullError`` under backpressure and
+        ``ServiceUnavailableError`` while the daemon is draining.
         """
+        if self.draining:
+            self.registry.inc("service.jobs.rejected_draining")
+            raise ServiceUnavailableError(
+                "daemon is draining: finishing admitted jobs, "
+                "refusing new ones"
+            )
         validate_spec(spec)
         seq = next(self._seq)
         record = JobRecord(job_id=next_job_id(), spec=spec, seq=seq)
-        self._started_at[record.job_id] = time.perf_counter()
+        started = time.perf_counter()
+        self._started_at[record.job_id] = started
+        if spec.deadline_ms is not None:
+            record.deadline_at = started + spec.deadline_ms / 1000.0
         if self.cache is not None:
             payload = self.cache.get(spec.key())
             if payload is not None:
@@ -249,6 +267,42 @@ class Scheduler:
         """Jobs admitted but not yet terminal."""
         return len(self.queue) + sum(pool.load for pool in self.pools)
 
+    # -- graceful shutdown --------------------------------------------
+
+    def start_draining(self) -> None:
+        """Refuse new submissions; admitted jobs keep running."""
+        if not self.draining:
+            self.draining = True
+            self.registry.inc("service.drains")
+
+    async def drain(self, timeout_s: float = 30.0) -> int:
+        """Wait for the backlog to empty; cancel what outlives it.
+
+        Runs on the event loop.  Returns the number of jobs that could
+        not be finished in time — they are cancelled (with the usual
+        bookkeeping) rather than silently dropped, so
+        ``ServiceThread.__exit__``'s empty-queue assertion means what
+        it says.
+        """
+        self.start_draining()
+        deadline = time.monotonic() + timeout_s
+        while self.backlog() > 0 and time.monotonic() < deadline:
+            self._submitted.set()  # keep the dispatcher churning
+            await asyncio.sleep(0.01)
+        leftovers = list(self.queue.drain())
+        for pool in self.pools:
+            leftovers.extend(pool.backlog)
+            pool.backlog.clear()
+        for record in leftovers:
+            if not record.done:
+                record.state = JobState.CANCELLED
+                record.error = "daemon shut down before the job ran"
+                self.registry.inc("service.jobs.cancelled")
+                self._finalize(record)
+        if leftovers:
+            self.registry.inc("service.drain.aborted", len(leftovers))
+        return len(leftovers)
+
     # -- the loops ----------------------------------------------------
 
     async def _dispatch_loop(self) -> None:
@@ -309,8 +363,21 @@ class Scheduler:
         # exact same sweep from its checkpoint, any other spec misses.
         return str(self.checkpoint_root / record.spec.key())
 
+    def _expire(self, record: JobRecord) -> None:
+        record.state = JobState.EXPIRED
+        record.error = (
+            f"deadline of {record.spec.deadline_ms:g} ms exceeded"
+        )
+        self.registry.inc("service.jobs.expired")
+        self._finalize(record)
+
     async def _run_job(self, pool: WorkerPool, record: JobRecord) -> None:
         spec = record.spec
+        if (record.deadline_at is not None
+                and time.perf_counter() >= record.deadline_at):
+            # Expired while queued: never worth starting.
+            self._expire(record)
+            return
         breaker = self._breaker_for(spec.experiment)
         if not breaker.allow():
             record.state = JobState.FAILED
@@ -332,11 +399,33 @@ class Scheduler:
             attempt += 1
             record.attempts = attempt
             try:
-                payload, snapshot = await loop.run_in_executor(
+                future = loop.run_in_executor(
                     pool.executor, execute_instrumented, wire,
                     checkpoint_dir,
                 )
+                if record.deadline_at is not None:
+                    # The worker thread cannot be interrupted; expiry
+                    # abandons the wait and drops whatever the thread
+                    # eventually produces.  Swallow its late exception
+                    # so the loop never logs "never retrieved".
+                    future.add_done_callback(
+                        lambda f: f.cancelled() or f.exception()
+                    )
+                    remaining = record.deadline_at - time.perf_counter()
+                    payload, snapshot = await asyncio.wait_for(
+                        future, timeout=max(0.0, remaining)
+                    )
+                else:
+                    payload, snapshot = await future
             except Exception as exc:  # noqa: BLE001 - classified below
+                if (isinstance(exc, asyncio.TimeoutError)
+                        and record.deadline_at is not None
+                        and time.perf_counter() >= record.deadline_at):
+                    if record.state != JobState.CANCELLED:
+                        self._expire(record)
+                    else:
+                        self._finalize(record)
+                    return
                 if (self.retry.is_transient(exc)
                         and attempt < self.retry.max_attempts):
                     self.registry.inc("service.jobs.retries")

@@ -16,8 +16,9 @@ session agrees where a corpus lives without coordination.
 The shard *backend* is pluggable: anything satisfying
 :class:`ShardBackend` (how many shards, open shard *i*) can host the
 shards.  :class:`LocalDirBackend` — ``<root>/shard-00 .. shard-NN``
-on the local filesystem — is the one implementation today; an S3 or
-remote-blob backend slots in behind the same two methods later.
+on the local filesystem — is the simple one;
+:class:`~repro.service.remote.RemoteBlobBackend` hosts each shard on
+N replicated blob endpoints behind the same two methods.
 
 :class:`ResultCache` applies the same sharding to *job results*: small
 records (pickle + sha256, atomically published) keyed by a job spec's
@@ -44,7 +45,27 @@ __all__ = [
     "ResultCache",
     "ShardBackend",
     "ShardedTraceStore",
+    "shard_index",
 ]
+
+
+def shard_index(key: str, shard_count: int) -> int:
+    """The shard a key routes to — pure: ``(key, N)`` in, index out.
+
+    Hex-prefixed keys (the sha256 content addresses every store layer
+    mints) route by ``int(key[:8], 16) % N``; anything else — hand
+    written test keys, future key schemes — routes through a sha256
+    digest of the key so the mapping stays deterministic and uniform.
+    Every router (trace shards, result cache, rebalance planner) calls
+    this one function, so they can never disagree about where a key
+    lives.
+    """
+    try:
+        prefix = int(key[:8], 16)
+    except (TypeError, ValueError):
+        digest = hashlib.sha256(str(key).encode("utf-8")).hexdigest()
+        prefix = int(digest[:8], 16)
+    return prefix % shard_count
 
 
 @runtime_checkable
@@ -52,10 +73,13 @@ class ShardBackend(Protocol):
     """What can host the shards of a sharded store.
 
     A backend answers two questions: how many shards exist, and where
-    shard *i* lives (as a ready-to-use :class:`TraceStore`).  The
-    local-directory backend is the only implementation today; the
-    protocol exists so a remote backend can replace it without touching
-    the routing or the service.
+    shard *i* lives (as an object with the :class:`TraceStore`
+    surface).  :class:`LocalDirBackend` answers with a plain local
+    store; :class:`~repro.service.remote.RemoteBlobBackend` answers
+    with a replicated remote shard that happens to speak the same
+    surface — the routing and the service never know the difference.
+    A backend may additionally expose ``result_store(index)`` to host
+    :class:`ResultCache` records remotely.
     """
 
     shard_count: int
@@ -131,14 +155,7 @@ class ShardedTraceStore:
 
     def shard_for(self, key: str) -> int:
         """The shard index a key routes to (pure: key in, index out)."""
-        try:
-            prefix = int(key[:8], 16)
-        except (TypeError, ValueError):
-            # Non-hex keys (hand-written tests, future key schemes)
-            # still route deterministically via a digest of the key.
-            digest = hashlib.sha256(str(key).encode("utf-8")).hexdigest()
-            prefix = int(digest[:8], 16)
-        return prefix % self.shard_count
+        return shard_index(key, self.shard_count)
 
     def shard(self, key: str) -> TraceStore:
         """The (cached) ``TraceStore`` behind a key's shard."""
@@ -241,6 +258,13 @@ class ResultCache:
     as a miss and moved aside — worst case the job re-runs, never a
     wrong result served.
 
+    When the backend exposes ``result_store(index)`` (the remote blob
+    backend does), records are read and written through that object's
+    ``get_result`` / ``put_result`` / ``contains_result`` /
+    ``drop_result`` surface instead of the local filesystem — the
+    digest-and-unpickle validation stays here, so a torn or damaged
+    remote record is still a miss, never a wrong payload.
+
     Counters land in the *explicit* registry handed in (the service
     deliberately avoids the ambient telemetry global, which is not
     thread-safe next to in-process experiment runs):
@@ -258,17 +282,45 @@ class ResultCache:
         if self.registry is not None:
             self.registry.inc(f"service.cache.{name}", amount)
 
+    def _remote(self, key: str):
+        """The backend's result store for this key's shard, if any."""
+        opener = getattr(self.backend, "result_store", None)
+        if opener is None:
+            return None
+        return opener(shard_index(key, self.shard_count))
+
     def _path(self, key: str) -> Path:
-        try:
-            prefix = int(key[:8], 16)
-        except (TypeError, ValueError):
-            digest = hashlib.sha256(str(key).encode("utf-8")).hexdigest()
-            prefix = int(digest[:8], 16)
-        root = self.backend.shard_root(prefix % self.shard_count)
+        root = self.backend.shard_root(shard_index(key, self.shard_count))
         return root / "results" / f"{key}.res"
+
+    def _decode(self, blob: bytes):
+        """Validate and unpickle one record blob; ``None`` on damage."""
+        if blob is None or len(blob) < 32:
+            return None
+        digest, body = blob[:32], blob[32:]
+        if hashlib.sha256(body).digest() != digest:
+            return None
+        try:
+            return pickle.loads(body)
+        except Exception:  # noqa: BLE001 - any damage means recompute
+            return None
 
     def get(self, key: str):
         """The cached payload for ``key``, or ``None`` on (any) miss."""
+        remote = self._remote(key)
+        if remote is not None:
+            blob = remote.get_result(key)
+            if blob is None:
+                self._count("misses")
+                return None
+            payload = self._decode(blob)
+            if payload is None:
+                remote.drop_result(key)
+                self._count("corrupt_records")
+                self._count("misses")
+                return None
+            self._count("hits")
+            return payload
         path = self._path(key)
         try:
             blob = path.read_bytes()
@@ -278,16 +330,8 @@ class ResultCache:
         except OSError:
             self._count("misses")
             return None
-        if len(blob) < 32:
-            self._quarantine(path)
-            return None
-        digest, body = blob[:32], blob[32:]
-        if hashlib.sha256(body).digest() != digest:
-            self._quarantine(path)
-            return None
-        try:
-            payload = pickle.loads(body)
-        except Exception:  # noqa: BLE001 - any damage means recompute
+        payload = self._decode(blob)
+        if payload is None:
             self._quarantine(path)
             return None
         self._count("hits")
@@ -295,10 +339,15 @@ class ResultCache:
 
     def put(self, key: str, payload) -> Path:
         """Atomically publish ``payload`` under ``key``."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         body = pickle.dumps(payload, protocol=4)
         blob = hashlib.sha256(body).digest() + body
+        remote = self._remote(key)
+        if remote is not None:
+            path = remote.put_result(key, blob)
+            self._count("writes")
+            return path
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
         temp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         try:
             temp.write_bytes(blob)
@@ -310,6 +359,9 @@ class ResultCache:
         return path
 
     def contains(self, key: str) -> bool:
+        remote = self._remote(key)
+        if remote is not None:
+            return remote.contains_result(key)
         return self._path(key).exists()
 
     def _quarantine(self, path: Path) -> None:

@@ -1,0 +1,290 @@
+"""The narrow blob transport a remote shard backend speaks.
+
+A remote blob service — S3, GCS, a blob cache — reduces to four verbs:
+``get`` / ``put`` / ``list`` / ``delete`` over opaque byte objects.
+:class:`BlobTransport` is that protocol; everything richer (digest
+wrapping, replication, quorum reads, read repair, breakers) lives one
+layer up in :mod:`repro.service.remote` so it works over *any*
+transport.
+
+Two real transports live here:
+
+* :class:`DirTransport` — objects as files under a local directory,
+  the simulated remote service (one directory per replica node);
+* :class:`MemoryTransport` — objects in a dict, for unit tests.
+
+and one decorator:
+
+* :class:`FaultyTransport` — deterministic fault injection.  Every
+  operation draws its fate from ``child_rng(seed, f"{name}/{op}/{seq}")``
+  — the same named-child-stream scheme the simulator uses — so a given
+  transport instance replays the **exact same** fault sequence on every
+  run: timeouts (``TimeoutError``), connection resets
+  (``ConnectionResetError``), and torn writes (a prefix of the bytes is
+  published, then the "connection" dies).  Simulated latency is drawn
+  per operation and accumulated in :class:`TransportStats`; it only
+  costs wall-clock when ``sleep_scale > 0`` (the load bench), never in
+  tests.
+
+Injected faults use the stdlib transient vocabulary on purpose: the
+resilience layer's :class:`~repro.resilience.retry.RetryPolicy` already
+classifies ``TimeoutError`` / ``ConnectionError`` as retryable and
+:class:`~repro.errors.ReproError` as permanent, so a remote fault is
+retried while a misconfigured transport fails fast.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Protocol, runtime_checkable
+
+from ..errors import ConfigError, TransportError
+from ..rng import child_rng
+from ..telemetry.context import active_registry
+
+__all__ = [
+    "BlobTransport",
+    "DirTransport",
+    "FaultSpec",
+    "FaultyTransport",
+    "MemoryTransport",
+    "TransportStats",
+]
+
+
+def _check_name(name: str) -> str:
+    """Reject object names that could escape the transport's namespace."""
+    if not name or name.startswith("/") or ".." in name.split("/"):
+        raise TransportError(f"invalid object name {name!r}")
+    return name
+
+
+@runtime_checkable
+class BlobTransport(Protocol):
+    """What one remote blob endpoint can do.
+
+    ``get`` returns ``None`` for a missing object (absence is an
+    answer, not an error — it must never be retried); ``delete`` is
+    idempotent.  Object names are ``/``-separated relative paths
+    (``blobs/<key>.uftc``).
+    """
+
+    def get(self, name: str) -> bytes | None: ...
+
+    def put(self, name: str, blob: bytes) -> None: ...
+
+    def list(self, prefix: str = "") -> list[str]: ...
+
+    def delete(self, name: str) -> None: ...
+
+
+class DirTransport:
+    """Objects as files under ``root`` — the simulated remote node.
+
+    Writes are plain ``write_bytes`` through a writer-unique temp plus
+    ``os.replace``: the *local* publish is atomic, but nothing above
+    this layer assumes so — :class:`FaultyTransport` deliberately
+    publishes torn prefixes to model a remote multipart upload dying
+    mid-flight, and the remote store's digest wrapper is what catches
+    them.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def _path(self, name: str) -> Path:
+        return self.root / _check_name(name)
+
+    def get(self, name: str) -> bytes | None:
+        try:
+            return self._path(name).read_bytes()
+        except (FileNotFoundError, IsADirectoryError):
+            return None
+
+    def put(self, name: str, blob: bytes) -> None:
+        path = self._path(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        temp.write_bytes(blob)
+        os.replace(temp, path)
+
+    def list(self, prefix: str = "") -> list[str]:
+        if not self.root.is_dir():
+            return []
+        names = []
+        for path in self.root.rglob("*"):
+            if not path.is_file() or path.name.endswith(".tmp"):
+                continue
+            name = path.relative_to(self.root).as_posix()
+            if name.startswith(prefix):
+                names.append(name)
+        return sorted(names)
+
+    def delete(self, name: str) -> None:
+        try:
+            self._path(name).unlink()
+        except FileNotFoundError:
+            pass
+
+
+class MemoryTransport:
+    """Objects in a dict — unit tests and the fault-injection suite."""
+
+    def __init__(self) -> None:
+        self.objects: dict[str, bytes] = {}
+
+    def get(self, name: str) -> bytes | None:
+        return self.objects.get(_check_name(name))
+
+    def put(self, name: str, blob: bytes) -> None:
+        self.objects[_check_name(name)] = bytes(blob)
+
+    def list(self, prefix: str = "") -> list[str]:
+        return sorted(n for n in self.objects if n.startswith(prefix))
+
+    def delete(self, name: str) -> None:
+        self.objects.pop(_check_name(name), None)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """How unreliable a remote endpoint is, as per-operation rates.
+
+    Rates are independent probabilities in ``[0, 1)`` drawn once per
+    operation; ``latency_ms`` is the (lo, hi) uniform range of the
+    simulated per-operation latency.  ``sleep_scale`` converts the
+    simulated latency into real ``time.sleep`` — 0.0 (the default)
+    keeps tests instant while the accounting still happens.
+    """
+
+    timeout_rate: float = 0.0
+    reset_rate: float = 0.0
+    torn_write_rate: float = 0.0
+    latency_ms: tuple[float, float] = (0.2, 2.0)
+    sleep_scale: float = 0.0
+
+    def validate(self) -> None:
+        for label, rate in (("timeout_rate", self.timeout_rate),
+                            ("reset_rate", self.reset_rate),
+                            ("torn_write_rate", self.torn_write_rate)):
+            if not 0.0 <= rate < 1.0:
+                raise ConfigError(
+                    f"{label} must be in [0, 1), got {rate}"
+                )
+        lo, hi = self.latency_ms
+        if lo < 0 or hi < lo:
+            raise ConfigError(
+                f"latency_ms must be 0 <= lo <= hi, got {self.latency_ms}"
+            )
+        if self.sleep_scale < 0:
+            raise ConfigError(
+                f"sleep_scale must be >= 0, got {self.sleep_scale}"
+            )
+
+    @classmethod
+    def uniform(cls, rate: float, **overrides) -> "FaultSpec":
+        """One knob for the bench: the same rate on every fault class."""
+        spec = cls(timeout_rate=rate, reset_rate=rate,
+                   torn_write_rate=rate, **overrides)
+        spec.validate()
+        return spec
+
+
+@dataclass
+class TransportStats:
+    """What one (possibly faulty) endpoint did, for status reports."""
+
+    ops: int = 0
+    timeouts: int = 0
+    resets: int = 0
+    torn_writes: int = 0
+    simulated_latency_ms: float = 0.0
+    by_op: dict = field(default_factory=dict)
+
+
+class FaultyTransport:
+    """A transport whose failures replay bit-identically.
+
+    The fault schedule is a pure function of ``(seed, name, op,
+    sequence-number)``: the N-th operation of a given verb on a given
+    instance always draws the same latency and the same fate.  Torn
+    writes publish ``blob[:k]`` for a seed-derived ``k`` in
+    ``[1, len-1]`` and then raise — the damaged object is *visible* to
+    readers, exactly like a remote multipart upload that died between
+    parts, which is what the digest wrapper upstairs must catch.
+    """
+
+    def __init__(self, inner: BlobTransport, *, faults: FaultSpec,
+                 seed: int = 0, name: str = "remote") -> None:
+        faults.validate()
+        self.inner = inner
+        self.faults = faults
+        self.seed = seed
+        self.name = name
+        self.stats = TransportStats()
+        self._seq: dict[str, int] = {}
+
+    def _count(self, metric: str) -> None:
+        registry = active_registry()
+        if registry is not None:
+            registry.inc(f"service.transport.{metric}")
+
+    def _draw(self, op: str):
+        seq = self._seq.get(op, 0)
+        self._seq[op] = seq + 1
+        rng = child_rng(self.seed, f"{self.name}/{op}/{seq}")
+        lo, hi = self.faults.latency_ms
+        latency = float(rng.uniform(lo, hi))
+        self.stats.ops += 1
+        self.stats.by_op[op] = self.stats.by_op.get(op, 0) + 1
+        self.stats.simulated_latency_ms += latency
+        if self.faults.sleep_scale > 0.0:
+            time.sleep(latency * self.faults.sleep_scale / 1000.0)
+        return rng
+
+    def _maybe_fail(self, rng, op: str) -> None:
+        if float(rng.random()) < self.faults.timeout_rate:
+            self.stats.timeouts += 1
+            self._count("timeouts")
+            raise TimeoutError(
+                f"injected remote timeout ({self.name}/{op})"
+            )
+        if float(rng.random()) < self.faults.reset_rate:
+            self.stats.resets += 1
+            self._count("resets")
+            raise ConnectionResetError(
+                f"injected connection reset ({self.name}/{op})"
+            )
+
+    def get(self, name: str) -> bytes | None:
+        rng = self._draw("get")
+        self._maybe_fail(rng, "get")
+        return self.inner.get(name)
+
+    def put(self, name: str, blob: bytes) -> None:
+        rng = self._draw("put")
+        self._maybe_fail(rng, "put")
+        if (len(blob) > 1
+                and float(rng.random()) < self.faults.torn_write_rate):
+            cut = 1 + int(rng.integers(0, len(blob) - 1))
+            self.inner.put(name, blob[:cut])
+            self.stats.torn_writes += 1
+            self._count("torn_writes")
+            raise ConnectionResetError(
+                f"injected torn write ({self.name}/put, "
+                f"{cut}/{len(blob)} bytes landed)"
+            )
+        self.inner.put(name, blob)
+
+    def list(self, prefix: str = "") -> list[str]:
+        rng = self._draw("list")
+        self._maybe_fail(rng, "list")
+        return self.inner.list(prefix)
+
+    def delete(self, name: str) -> None:
+        rng = self._draw("delete")
+        self._maybe_fail(rng, "delete")
+        self.inner.delete(name)

@@ -91,8 +91,11 @@ class TestChaosRuns:
     def test_fault_names_stay_in_sync_with_help(self):
         # The CLI validates against the module's canonical tuple, so a
         # new fault only needs registering in one place.
-        assert len(CHAOS_FAULTS) == 8
-        assert len(set(CHAOS_FAULTS)) == 8
+        assert len(CHAOS_FAULTS) == 12
+        assert len(set(CHAOS_FAULTS)) == 12
+        for fault in ("remote-timeout-storm", "replica-loss",
+                      "torn-remote-put", "rebalance-crash-resume"):
+            assert fault in CHAOS_FAULTS
 
 
 class TestInterruptionPaths:

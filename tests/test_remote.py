@@ -1,0 +1,476 @@
+"""The remote shard backend: transports, quorum, degrade, rebalance.
+
+The load-bearing contract is the same one the rest of the store stack
+carries: a fetch through the remote backend is bit-identical to the
+records that were put, no matter which containment layer answered it —
+the write-through cache, a quorum of healthy replicas, a read-repaired
+minority, or the degraded-mode cache behind an open breaker.  Around
+that, the fault injection's determinism (same seed, same failure
+sequence) and the rebalancer's crash-window arithmetic are pinned
+down in isolation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    RebalanceError,
+    RebalanceInterrupted,
+    TransportError,
+)
+from repro.resilience.breaker import CircuitBreaker
+from repro.service.remote import (
+    RemoteBlobBackend,
+    RemoteShardStore,
+    _unwrap,
+    _wrap,
+    discover_layout,
+    execute_rebalance,
+    open_backend,
+    plan_rebalance,
+    shard_io_for,
+    verify_rebalance,
+)
+from repro.service.store import LocalDirBackend, ResultCache, shard_index
+from repro.service.transport import (
+    DirTransport,
+    FaultSpec,
+    FaultyTransport,
+    MemoryTransport,
+)
+from repro.sidechannel.tracer import TraceRecord
+from repro.telemetry import MetricsRegistry
+from repro.trace.store import TraceStore
+
+
+def _records(seed: int, n: int = 3) -> list[TraceRecord]:
+    return [
+        TraceRecord(
+            label=seed * 10 + i,
+            times_ms=np.arange(6, dtype=np.float64) * 3.0,
+            freqs_mhz=np.full(6, 900.0 + seed + i, dtype=np.float64),
+        )
+        for i in range(n)
+    ]
+
+
+def _assert_identical(fetched, expected) -> None:
+    assert fetched is not None
+    _meta, got = fetched
+    assert len(got) == len(expected)
+    for a, b in zip(got, expected):
+        assert a.label == b.label
+        assert list(a.times_ms) == list(b.times_ms)
+        assert list(a.freqs_mhz) == list(b.freqs_mhz)
+
+
+class _DownTransport:
+    """A replica that is simply off the network."""
+
+    def get(self, name):
+        raise TimeoutError("down")
+
+    def put(self, name, blob):
+        raise TimeoutError("down")
+
+    def list(self, prefix=""):
+        raise TimeoutError("down")
+
+    def delete(self, name):
+        raise TimeoutError("down")
+
+
+class TestTransports:
+    def test_dir_transport_round_trip(self, tmp_path):
+        t = DirTransport(tmp_path)
+        assert t.get("blobs/a.bin") is None
+        t.put("blobs/a.bin", b"alpha")
+        t.put("blobs/b.bin", b"beta")
+        t.put("index/a.json", b"{}")
+        assert t.get("blobs/a.bin") == b"alpha"
+        assert t.list("blobs/") == ["blobs/a.bin", "blobs/b.bin"]
+        assert t.list() == ["blobs/a.bin", "blobs/b.bin",
+                            "index/a.json"]
+        t.delete("blobs/a.bin")
+        t.delete("blobs/a.bin")  # idempotent
+        assert t.get("blobs/a.bin") is None
+
+    def test_memory_transport_round_trip(self):
+        t = MemoryTransport()
+        t.put("x/y", b"1")
+        assert t.get("x/y") == b"1"
+        assert t.list("x/") == ["x/y"]
+        t.delete("x/y")
+        assert t.get("x/y") is None
+
+    @pytest.mark.parametrize("bad", ["", "/abs", "a/../b"])
+    def test_escaping_names_rejected(self, tmp_path, bad):
+        with pytest.raises(TransportError, match="invalid object name"):
+            DirTransport(tmp_path).get(bad)
+
+    def test_fault_spec_validation(self):
+        with pytest.raises(ConfigError, match="timeout_rate"):
+            FaultSpec(timeout_rate=1.0).validate()
+        with pytest.raises(ConfigError, match="latency_ms"):
+            FaultSpec(latency_ms=(5.0, 1.0)).validate()
+        FaultSpec.uniform(0.5)  # validates internally
+
+    def test_fault_schedule_is_deterministic(self):
+        def drive(transport):
+            outcomes = []
+            for i in range(40):
+                try:
+                    transport.put(f"blobs/{i}.bin", b"payload-bytes")
+                    outcomes.append("ok")
+                except TimeoutError:
+                    outcomes.append("timeout")
+                except ConnectionResetError:
+                    outcomes.append("reset")
+            return outcomes
+
+        spec = FaultSpec(timeout_rate=0.3, reset_rate=0.2,
+                         torn_write_rate=0.2)
+        first = drive(FaultyTransport(MemoryTransport(), faults=spec,
+                                      seed=7, name="r0"))
+        second = drive(FaultyTransport(MemoryTransport(), faults=spec,
+                                       seed=7, name="r0"))
+        other_seed = drive(FaultyTransport(MemoryTransport(),
+                                           faults=spec, seed=8,
+                                           name="r0"))
+        assert first == second
+        assert first != other_seed  # the schedule is seed-derived
+
+    def test_torn_write_publishes_a_partial_object(self):
+        inner = MemoryTransport()
+        faulty = FaultyTransport(inner, faults=FaultSpec(
+            torn_write_rate=0.9), seed=0, name="r0")
+        blob = b"x" * 64
+        torn = False
+        for i in range(20):
+            try:
+                faulty.put(f"blobs/{i}.bin", blob)
+            except ConnectionResetError as exc:
+                assert "torn write" in str(exc)
+                partial = inner.get(f"blobs/{i}.bin")
+                assert partial is not None
+                assert 1 <= len(partial) < len(blob)
+                torn = True
+                break
+        assert torn, "torn_write_rate=0.9 never tore in 20 puts"
+
+
+class TestEnvelope:
+    def test_round_trip(self):
+        assert _unwrap(_wrap(b"body")) == b"body"
+
+    def test_truncation_and_rot_rejected(self):
+        blob = _wrap(b"a longer body with structure")
+        assert _unwrap(blob[: len(blob) // 2]) is None
+        assert _unwrap(blob[:10]) is None
+        rotted = bytearray(blob)
+        rotted[-1] ^= 0xFF
+        assert _unwrap(bytes(rotted)) is None
+
+
+def _shard(tmp_path, *, replicas=None, read_quorum=2, registry=None,
+           breaker=None, name="cache"):
+    replicas = replicas if replicas is not None \
+        else [MemoryTransport() for _ in range(3)]
+    return RemoteShardStore(
+        replicas=replicas,
+        cache=TraceStore(tmp_path / name),
+        read_quorum=read_quorum,
+        registry=registry,
+        breaker=breaker,
+    ), replicas
+
+
+class TestRemoteShardStore:
+    def test_write_through_round_trip(self, tmp_path):
+        store, replicas = _shard(tmp_path)
+        key = TraceStore.key("remote-rt", seed=1)
+        records = _records(1)
+        store.put(key, records, meta={"k": 1})
+        _assert_identical(store.fetch(key), records)
+        # every replica holds the digest-wrapped blob
+        for replica in replicas:
+            assert _unwrap(replica.get(f"blobs/{key}.uftc")) is not None
+
+    def test_cold_pull_is_bit_identical(self, tmp_path):
+        store, replicas = _shard(tmp_path)
+        key = TraceStore.key("remote-cold", seed=2)
+        records = _records(2)
+        store.put(key, records)
+        cold, _ = _shard(tmp_path, replicas=replicas, name="cache2")
+        assert cold.contains(key)
+        _assert_identical(cold.fetch(key), records)
+
+    def test_torn_replica_rejected_and_repaired(self, tmp_path):
+        registry = MetricsRegistry()
+        store, replicas = _shard(tmp_path)
+        key = TraceStore.key("remote-torn", seed=3)
+        records = _records(3)
+        store.put(key, records)
+        name = f"blobs/{key}.uftc"
+        whole = replicas[0].get(name)
+        replicas[0].put(name, whole[: len(whole) // 3])  # tear it
+        cold, _ = _shard(tmp_path, replicas=replicas, name="cache2",
+                         registry=registry)
+        _assert_identical(cold.fetch(key), records)
+        counters = registry.snapshot()["counters"]
+        assert counters["service.remote.torn_rejected"] >= 1
+        assert counters["service.remote.read_repairs"] >= 1
+        assert replicas[0].get(name) == whole  # repaired in place
+
+    def test_divergent_minority_loses_the_vote(self, tmp_path):
+        store, replicas = _shard(tmp_path)
+        key = TraceStore.key("remote-div", seed=4)
+        records = _records(4)
+        store.put(key, records)
+        name = f"blobs/{key}.uftc"
+        majority = replicas[1].get(name)
+        replicas[0].put(name, _wrap(b"a perfectly valid impostor"))
+        cold, _ = _shard(tmp_path, replicas=replicas, name="cache2")
+        _assert_identical(cold.fetch(key), records)
+        assert replicas[0].get(name) == majority  # repaired over
+
+    def test_single_survivor_read_is_flagged(self, tmp_path):
+        registry = MetricsRegistry()
+        store, replicas = _shard(tmp_path)
+        key = TraceStore.key("remote-lone", seed=5)
+        records = _records(5)
+        store.put(key, records)
+        for name in (f"blobs/{key}.uftc", f"index/{key}.json"):
+            replicas[0].delete(name)
+            replicas[1].delete(name)
+        cold, _ = _shard(tmp_path, replicas=replicas, name="cache2",
+                         registry=registry)
+        _assert_identical(cold.fetch(key), records)
+        counters = registry.snapshot()["counters"]
+        assert counters["service.remote.below_quorum_reads"] >= 1
+        assert counters["service.remote.read_repairs"] >= 2
+
+    def test_breaker_open_degrades_to_cache(self, tmp_path):
+        registry = MetricsRegistry()
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=50,
+                                 name="service.remote")
+        store, _ = _shard(
+            tmp_path, replicas=[_DownTransport() for _ in range(3)],
+            registry=registry, breaker=breaker,
+        )
+        key = TraceStore.key("remote-deg", seed=6)
+        records = _records(6)
+        store.put(key, records)        # cache lands, replication fails
+        store.put(key, records)        # second strike opens the breaker
+        assert breaker.state == "open"
+        _assert_identical(store.fetch(key), records)  # served locally
+        counters = registry.snapshot()["counters"]
+        assert counters["service.remote.puts_below_quorum"] >= 1
+        assert counters["service.remote.degraded_reads"] >= 1
+
+    def test_heal_pushes_the_degraded_backlog(self, tmp_path):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=50,
+                                 name="service.remote")
+        replicas = [MemoryTransport() for _ in range(3)]
+        store, _ = _shard(tmp_path, replicas=replicas, breaker=breaker)
+        breaker.record_failure()  # wedge the breaker open
+        assert breaker.state == "open"
+        key = TraceStore.key("remote-heal", seed=7)
+        records = _records(7)
+        store.put(key, records)  # cache-only: degraded write
+        assert all(r.get(f"blobs/{key}.uftc") is None for r in replicas)
+        healthy, _ = _shard(tmp_path, replicas=replicas)
+        report = healthy.heal()
+        assert report["pushed"] >= 1
+        cold, _ = _shard(tmp_path, replicas=replicas, name="cache2")
+        _assert_identical(cold.fetch(key), records)
+
+    def test_result_quartet_round_trip(self, tmp_path):
+        store, replicas = _shard(tmp_path)
+        key = "ab" * 16
+        blob = b"pickled-result-bytes"
+        store.put_result(key, blob)
+        assert store.contains_result(key)
+        assert store.get_result(key) == blob
+        cold, _ = _shard(tmp_path, replicas=replicas, name="cache2")
+        assert cold.get_result(key) == blob
+        store.drop_result(key)
+        fresh, _ = _shard(tmp_path, replicas=replicas, name="cache3")
+        assert fresh.get_result(key) is None
+
+    def test_status_reports_replica_health(self, tmp_path):
+        replicas = [MemoryTransport(), MemoryTransport(),
+                    _DownTransport()]
+        store, _ = _shard(tmp_path, replicas=replicas)
+        key = TraceStore.key("remote-status", seed=8)
+        store.put(key, _records(8))
+        health = store.status()
+        assert health["breaker"] in ("closed", "open", "half_open")
+        reachable = [r for r in health["replicas"] if r["reachable"]]
+        assert len(reachable) == 2
+        assert health["objects"] >= 2  # blob + index entry
+
+
+class TestBackendAndDiscovery:
+    def test_backend_round_trip_through_result_cache(self, tmp_path):
+        backend = RemoteBlobBackend(tmp_path, shard_count=4,
+                                    replication=2)
+        cache = ResultCache(backend)
+        key = "00" * 16
+        cache.put(key, {"payload": [1, 2, 3]})
+        assert cache.get(key) == {"payload": [1, 2, 3]}
+
+    def test_discover_layout(self, tmp_path):
+        remote_root = tmp_path / "r"
+        backend = RemoteBlobBackend(remote_root, shard_count=3,
+                                    replication=2)
+        key = TraceStore.key("layout", seed=0)
+        backend.open_shard(shard_index(key, 3)).put(key, _records(0))
+        layout = discover_layout(remote_root)
+        assert layout["backend"] == "remote"
+        assert layout["replication"] == 2
+
+        local_root = tmp_path / "l"
+        LocalDirBackend(local_root, shard_count=2).open_shard(0)
+        assert discover_layout(local_root)["backend"] == "local"
+
+    def test_open_backend_kinds(self, tmp_path):
+        assert isinstance(
+            open_backend(tmp_path / "a", backend="local", shards=2),
+            LocalDirBackend,
+        )
+        assert isinstance(
+            open_backend(tmp_path / "b", backend="remote", shards=2,
+                         replication=2),
+            RemoteBlobBackend,
+        )
+        with pytest.raises(ConfigError, match="auto|local|remote"):
+            open_backend(tmp_path / "c", backend="s3")
+
+    def test_invalid_shapes_rejected(self, tmp_path):
+        with pytest.raises(ConfigError, match="shard_count"):
+            RemoteBlobBackend(tmp_path, shard_count=0)
+        with pytest.raises(ConfigError, match="replication"):
+            RemoteBlobBackend(tmp_path, replication=0)
+        with pytest.raises(ConfigError, match="read_quorum"):
+            RemoteBlobBackend(tmp_path, replication=2, read_quorum=3)
+
+
+def _seeded_backend(tmp_path, *, shards=4, replication=2, count=6):
+    backend = RemoteBlobBackend(tmp_path / "store", shard_count=shards,
+                                replication=replication)
+    pairs = []
+    for slot in range(count):
+        key = TraceStore.key("rebalance", params={"slot": slot}, seed=9)
+        records = _records(slot)
+        backend.open_shard(shard_index(key, shards)).put(
+            key, records, meta={"slot": slot}
+        )
+        pairs.append((key, records))
+    return backend, pairs
+
+
+class TestRebalance:
+    def test_plan_is_a_pure_function(self, tmp_path):
+        backend, _ = _seeded_backend(tmp_path)
+        io = shard_io_for(backend)
+        first = plan_rebalance(io, 4, 6)
+        second = plan_rebalance(io, 4, 6)
+        assert first == second
+        assert first.plan_key == second.plan_key
+        assert plan_rebalance(io, 4, 7).plan_key != first.plan_key
+
+    def test_execute_and_verify_bit_identical(self, tmp_path):
+        backend, pairs = _seeded_backend(tmp_path)
+        io = shard_io_for(backend)
+        plan = plan_rebalance(io, 4, 6)
+        report = execute_rebalance(io, plan)
+        assert report["moved"] == len(plan.steps)
+        assert verify_rebalance(io, plan)["clean"]
+        resized = RemoteBlobBackend(tmp_path / "store", shard_count=6,
+                                    replication=2)
+        for key, records in pairs:
+            shard = resized.open_shard(shard_index(key, 6))
+            _assert_identical(shard.fetch(key), records)
+
+    def test_crash_midway_resumes_from_checkpoint(self, tmp_path):
+        backend, pairs = _seeded_backend(tmp_path)
+        io = shard_io_for(backend)
+        plan = plan_rebalance(io, 4, 6)
+        kill_at = max(1, len(plan.steps) // 2)
+        ckpt = tmp_path / "ckpt"
+        with pytest.raises(RebalanceInterrupted):
+            execute_rebalance(io, plan, checkpoint_dir=ckpt,
+                              crash_after=kill_at)
+        report = execute_rebalance(io, plan, checkpoint_dir=ckpt)
+        assert report["skipped"] == kill_at
+        assert report["moved"] == len(plan.steps) - kill_at
+        assert verify_rebalance(io, plan)["clean"]
+        resized = RemoteBlobBackend(tmp_path / "store", shard_count=6,
+                                    replication=2)
+        for key, records in pairs:
+            shard = resized.open_shard(shard_index(key, 6))
+            _assert_identical(shard.fetch(key), records)
+
+    def test_stale_plan_refuses_to_move_changed_bytes(self, tmp_path):
+        backend, _ = _seeded_backend(tmp_path)
+        io = shard_io_for(backend)
+        plan = plan_rebalance(io, 4, 6)
+        step = plan.steps[0]
+        io.write(step.src, step.name, _wrap(b"changed since planning"))
+        with pytest.raises(RebalanceError, match="re-plan"):
+            execute_rebalance(io, plan)
+
+    def test_local_backend_rebalances_too(self, tmp_path):
+        backend = LocalDirBackend(tmp_path / "local", shard_count=3)
+        pairs = []
+        for slot in range(5):
+            key = TraceStore.key("local-rebalance",
+                                 params={"slot": slot}, seed=11)
+            records = _records(slot)
+            backend.open_shard(shard_index(key, 3)).put(key, records)
+            pairs.append((key, records))
+        io = shard_io_for(backend)
+        plan = plan_rebalance(io, 3, 5)
+        execute_rebalance(io, plan)
+        assert verify_rebalance(io, plan)["clean"]
+        resized = LocalDirBackend(tmp_path / "local", shard_count=5)
+        for key, records in pairs:
+            shard = resized.open_shard(shard_index(key, 5))
+            _assert_identical(shard.fetch(key), records)
+
+
+class TestFaultyBackendContainment:
+    def test_flaky_replicas_still_serve_bit_identical(self, tmp_path):
+        registry = MetricsRegistry()
+        backend = RemoteBlobBackend(
+            tmp_path, shard_count=2, replication=3,
+            faults=FaultSpec(timeout_rate=0.25, reset_rate=0.15,
+                             torn_write_rate=0.15),
+            seed=3, registry=registry,
+        )
+        pairs = []
+        for slot in range(5):
+            key = TraceStore.key("flaky", params={"slot": slot},
+                                 seed=13)
+            records = _records(slot)
+            backend.open_shard(shard_index(key, 2)).put(key, records)
+            pairs.append((key, records))
+        for key, records in pairs:
+            _assert_identical(
+                backend.open_shard(shard_index(key, 2)).fetch(key),
+                records,
+            )
+        injected = sum(
+            replica.stats.timeouts + replica.stats.resets
+            + replica.stats.torn_writes
+            for index in range(2)
+            for replica in backend.open_shard(index).replicas
+        )
+        assert injected >= 1, "the fault spec never fired"
+        counters = registry.snapshot()["counters"]
+        absorbed = (counters.get("service.remote.retries", 0)
+                    + counters.get("service.remote.replica_errors", 0)
+                    + counters.get("service.remote.read_repairs", 0))
+        assert absorbed >= 1, "no containment layer saw the faults"
